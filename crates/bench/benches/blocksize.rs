@@ -1,0 +1,30 @@
+//! Block-hash scan throughput: the CPU side of probabilistic
+//! checkpointing (C3) — hashing rate vs block size on the host.
+
+use ckpt_core::tracker::fnv1a64;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_scan(c: &mut Criterion) {
+    let data = vec![0x5Au8; 1 << 20];
+    let mut g = c.benchmark_group("block-hash-scan");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    for block in [64usize, 256, 1024, 4096] {
+        g.bench_with_input(BenchmarkId::from_parameter(block), &block, |b, &block| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for chunk in data.chunks(block) {
+                    acc ^= fnv1a64(std::hint::black_box(chunk));
+                }
+                acc
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_scan
+}
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Simulator throughput benches: how fast the substrate itself executes —
+//! native app steps and VM instructions per host second.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use simos::apps::{AppParams, NativeKind};
+use simos::cost::CostModel;
+use simos::Kernel;
+
+fn bench_substrate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator-throughput");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("native-app-50ms-virtual", |b| {
+        b.iter(|| {
+            let mut k = Kernel::new(CostModel::circa_2005());
+            let mut params = AppParams::small();
+            params.total_steps = u64::MAX;
+            let _ = k.spawn_native(NativeKind::SparseRandom, params).unwrap();
+            k.run_for(50_000_000).unwrap();
+            k.now()
+        })
+    });
+    g.bench_function("vm-counter-100k-instrs", |b| {
+        b.iter(|| {
+            let mut k = Kernel::new(CostModel::circa_2005());
+            let pid = k
+                .spawn_vm(simos::asm::programs::counter(30_000), "counter")
+                .unwrap();
+            k.run_until_exit(pid).unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_substrate
+}
+criterion_main!(benches);

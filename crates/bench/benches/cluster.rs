@@ -1,0 +1,34 @@
+//! Cluster-scale benches: the stochastic Monte-Carlo model's throughput
+//! (it must be cheap enough to sweep 65,536-node configurations, C7b).
+
+use ckpt_cluster::stochastic_run;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+const SEC: u64 = 1_000_000_000;
+
+fn bench_stochastic(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stochastic-run");
+    for n in [1_024u64, 65_536] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                stochastic_run(
+                    n,
+                    36_000 * SEC,
+                    10 * SEC,
+                    SEC / 2,
+                    5 * SEC,
+                    3_600 * SEC,
+                    42,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_stochastic
+}
+criterion_main!(benches);

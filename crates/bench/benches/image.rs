@@ -1,0 +1,88 @@
+//! Host-performance benches of the image format: encode, decode, CRC, and
+//! page compression — the per-byte machinery every checkpoint pays.
+
+use ckpt_image::{crc32, decode, encode, encode_page, CheckpointImage, ImageHeader, ImageKind,
+    PageRecord, PolicyRecord, ProgramRecord, RegsRecord, SigRecord};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn synthetic_image(pages: usize, fill: u8) -> CheckpointImage {
+    CheckpointImage {
+        header: ImageHeader {
+            pid: 1,
+            seq: 1,
+            parent_seq: 0,
+            kind: ImageKind::Full,
+            taken_at_ns: 0,
+            mechanism: "bench".into(),
+            node: 0,
+        },
+        regs: RegsRecord::default(),
+        brk: 0,
+        work_done: 0,
+        policy: PolicyRecord { tag: 0, value: 0 },
+        vmas: vec![],
+        pages: (0..pages)
+            .map(|i| {
+                let data: Vec<u8> = (0..4096u32)
+                    .map(|j| (j as u8).wrapping_mul(fill).wrapping_add(i as u8))
+                    .collect();
+                PageRecord::capture(i as u64, &data)
+            })
+            .collect(),
+        fds: vec![],
+        files: vec![],
+        sig: SigRecord::default(),
+        timers: vec![],
+        program: ProgramRecord::Vm {
+            name: "bench".into(),
+            text: vec![0; 64],
+        },
+    }
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("image-codec");
+    for pages in [16usize, 256] {
+        let img = synthetic_image(pages, 7);
+        let bytes = encode(&img);
+        g.throughput(Throughput::Bytes(bytes.len() as u64));
+        g.bench_with_input(BenchmarkId::new("encode", pages), &img, |b, img| {
+            b.iter(|| encode(std::hint::black_box(img)))
+        });
+        g.bench_with_input(BenchmarkId::new("decode", pages), &bytes, |b, bytes| {
+            b.iter(|| decode(std::hint::black_box(bytes)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_crc(c: &mut Criterion) {
+    let data = vec![0xA5u8; 1 << 20];
+    let mut g = c.benchmark_group("crc32");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.bench_function("1MiB", |b| b.iter(|| crc32(std::hint::black_box(&data))));
+    g.finish();
+}
+
+fn bench_compress(c: &mut Criterion) {
+    let zero = vec![0u8; 4096];
+    let constant = vec![7u8; 4096];
+    let random: Vec<u8> = (0..4096u32).map(|i| (i * 131 + 7) as u8).collect();
+    let mut g = c.benchmark_group("page-compress");
+    g.throughput(Throughput::Bytes(4096));
+    g.bench_function("zero-page", |b| b.iter(|| encode_page(std::hint::black_box(&zero))));
+    g.bench_function("constant-page", |b| {
+        b.iter(|| encode_page(std::hint::black_box(&constant)))
+    });
+    g.bench_function("random-page", |b| {
+        b.iter(|| encode_page(std::hint::black_box(&random)))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_codec, bench_crc, bench_compress
+}
+criterion_main!(benches);

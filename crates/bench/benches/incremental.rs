@@ -1,0 +1,49 @@
+//! End-to-end checkpoint benches on the simulator (host time): full vs
+//! incremental checkpoints of the same process — reproduction target C2's
+//! machinery under a wall-clock lens.
+
+use ckpt_core::mechanism::KernelCkptEngine;
+use ckpt_core::{shared_storage, TrackerKind};
+use ckpt_storage::LocalDisk;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simos::apps::{AppParams, NativeKind};
+use simos::cost::CostModel;
+use simos::Kernel;
+
+fn checkpoint_once(tracker: TrackerKind) {
+    let mut k = Kernel::new(CostModel::circa_2005());
+    let mut params = AppParams::small();
+    params.mem_bytes = 512 * 1024;
+    params.total_steps = u64::MAX;
+    let pid = k.spawn_native(NativeKind::SparseRandom, params).unwrap();
+    k.run_for(2_000_000).unwrap();
+    let mut e = KernelCkptEngine::new("bench", "b", shared_storage(LocalDisk::new(1 << 32)), tracker);
+    k.freeze_process(pid).unwrap();
+    e.checkpoint_in_kernel(&mut k, pid).unwrap();
+    k.thaw_process(pid).unwrap();
+    k.run_for(500_000).unwrap();
+    k.freeze_process(pid).unwrap();
+    e.checkpoint_in_kernel(&mut k, pid).unwrap();
+}
+
+fn bench_trackers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("checkpoint-pair");
+    for (label, tk) in [
+        ("full", TrackerKind::FullOnly),
+        ("kernel-page", TrackerKind::KernelPage),
+        ("prob-256", TrackerKind::ProbBlock { block: 256 }),
+        ("hw-line", TrackerKind::HardwareLine),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &tk, |b, tk| {
+            b.iter(|| checkpoint_once(*tk))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_trackers
+}
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! One full checkpoint per mechanism family, measured in host time
+//! (the virtual-time comparison is experiment C4 in the report binary).
+
+use ckpt_bench::experiments;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_families(c: &mut Criterion) {
+    // The heavy lifting (kernel construction, app run, checkpoint) is the
+    // same path the report uses; bench a representative pair.
+    let mut g = c.benchmark_group("mechanism-checkpoint");
+    g.sample_size(10);
+    g.bench_function("c1-gather-experiment", |b| {
+        b.iter(experiments::c1_gather)
+    });
+    g.bench_function("c5-fork-vs-stw-experiment", |b| {
+        b.iter(experiments::c5_fork)
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_families);
+criterion_main!(benches);

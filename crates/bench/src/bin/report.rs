@@ -1,0 +1,41 @@
+//! The experiment reporter: regenerates every table and figure of the
+//! reproduction on the deterministic simulator.
+//!
+//! ```text
+//! cargo run --release --bin report -- all        # everything
+//! cargo run --release --bin report -- table1     # one experiment
+//! cargo run --release --bin report -- list       # what exists
+//! ```
+
+use ckpt_bench as bench;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args.first().map(|s| s.as_str()).unwrap_or("all");
+    let out = match which {
+        "list" => {
+            println!("experiments: table1 figure1 c1 c2 c3 c3b c4 c5 c6 c7a c7b c8 c9 c10 all");
+            return;
+        }
+        "table1" | "t1" => bench::t1_table(),
+        "figure1" | "f1" => bench::f1_figure(),
+        "c1" | "claims" => bench::c1_gather(),
+        "c2" | "incremental" => bench::c2_incremental(),
+        "c3" | "blocksize" => bench::c3_blocksize(),
+        "c3b" | "omission" => bench::c3b_omission(),
+        "c4" | "mechanisms" => bench::c4_mechanisms(),
+        "c5" | "fork" => bench::c5_fork(),
+        "c6" | "storage" => bench::c6_storage(),
+        "c7a" => bench::c7_cluster_mechanistic(),
+        "c7b" | "cluster" => bench::c7_cluster_scale(),
+        "c8" | "migration" => bench::c8_migration(),
+        "c9" | "batch" => bench::c9_batch_vs_autonomic(),
+        "c10" | "sensitivity" => bench::c10_sensitivity(),
+        "all" => bench::run_all(),
+        other => {
+            eprintln!("unknown experiment '{other}' — try: report list");
+            std::process::exit(2);
+        }
+    };
+    println!("{out}");
+}

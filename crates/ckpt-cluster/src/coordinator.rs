@@ -1,0 +1,297 @@
+//! Coordinated checkpointing and restart of parallel jobs — the LAM/MPI /
+//! CoCheck scheme of the survey.
+//!
+//! The protocol exploits the bulk-synchronous structure of [`crate::mpi`]:
+//! at a superstep boundary no messages are in flight, so a globally
+//! consistent cut is simply "freeze every rank, checkpoint every rank,
+//! thaw". Images go to **remote** stable storage (each node pays its own
+//! network cost), which is what makes recovery from a node loss possible
+//! at all — the paper's criticism of local-only systems.
+//!
+//! As the paper notes of LAM/MPI, the scheme is transparent to the
+//! *application* but not to the *message-passing layer*: it is the job
+//! driver (this module) that knows where the boundaries are.
+
+use crate::cluster::Cluster;
+use crate::mpi::{MpiJob, RankRef};
+use ckpt_core::capture::{capture_image, restore_image, CaptureOptions, RestoreOptions, RestorePid};
+use ckpt_core::tracker::{Tracker, TrackerKind};
+use ckpt_storage::{load_latest_chain, store_image};
+use simos::types::{SimError, SimResult};
+use std::collections::BTreeMap;
+
+/// Per-round result of a coordinated checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoordOutcome {
+    pub seq: u64,
+    pub ranks: usize,
+    pub total_bytes: u64,
+    /// Wall (virtual) time of the slowest rank's checkpoint — the job
+    /// resumes only when all ranks are done (it is a barrier).
+    pub round_ns: u64,
+    pub incremental: bool,
+}
+
+/// The coordinated-checkpoint driver for one job.
+pub struct Coordinator {
+    pub job_key: String,
+    tracker_kind: TrackerKind,
+    trackers: BTreeMap<u32, Tracker>,
+    seq: u64,
+    /// Ranks recorded at the last completed checkpoint (for restart).
+    saved_ranks: Vec<u32>,
+    saved_pids: BTreeMap<u32, u32>,
+    pub outcomes: Vec<CoordOutcome>,
+}
+
+impl Coordinator {
+    pub fn new(job_key: &str, tracker_kind: TrackerKind) -> Self {
+        Coordinator {
+            job_key: job_key.to_string(),
+            tracker_kind,
+            trackers: BTreeMap::new(),
+            seq: 0,
+            saved_ranks: Vec::new(),
+            saved_pids: BTreeMap::new(),
+            outcomes: Vec::new(),
+        }
+    }
+
+    /// Take a coordinated checkpoint of every rank. Must be called at a
+    /// superstep boundary (quiescent channels).
+    pub fn checkpoint(&mut self, cluster: &mut Cluster, job: &MpiJob) -> SimResult<CoordOutcome> {
+        let t0 = cluster.now();
+        self.seq += 1;
+        let seq = self.seq;
+        let incremental = self.seq > 1 && self.tracker_kind.supports_incremental();
+        let mut total_bytes = 0u64;
+        let mut max_node_time = t0;
+        self.saved_ranks.clear();
+        self.saved_pids.clear();
+        for r in &job.ranks {
+            let tracker = self
+                .trackers
+                .entry(r.rank)
+                .or_insert_with(|| Tracker::new(self.tracker_kind));
+            let remote = cluster.nodes[r.node.0 as usize].remote.clone();
+            let k = cluster
+                .node(r.node)
+                .kernel()
+                .ok_or_else(|| SimError::Usage(format!("{} down during checkpoint", r.node)))?;
+            k.freeze_process(r.pid)?;
+            let opts = if incremental && tracker.is_armed() {
+                let c = tracker.collect(k, r.pid)?;
+                let mut o = CaptureOptions::incremental("coordinated", seq, seq - 1, c.pages);
+                o.node = r.node.0;
+                o
+            } else {
+                let mut o = CaptureOptions::full("coordinated", seq);
+                o.node = r.node.0;
+                o
+            };
+            let mut img = capture_image(k, r.pid, &opts)?;
+            // Key images by *rank*, which is stable across migrations.
+            img.header.pid = r.rank;
+            let receipt = {
+                let mut s = remote.lock();
+                store_image(s.as_mut(), &self.job_key, &img, &k.cost)
+                    .map_err(|e| SimError::Usage(format!("coordinated store failed: {e}")))?
+            };
+            let t = k.cost.memcpy(receipt.bytes) + receipt.time_ns;
+            k.charge(t);
+            total_bytes += receipt.bytes;
+            tracker.arm(k, r.pid)?;
+            k.thaw_process(r.pid)?;
+            max_node_time = max_node_time.max(k.now());
+            self.saved_ranks.push(r.rank);
+            self.saved_pids.insert(r.rank, r.pid.0);
+        }
+        // Barrier: every node waits for the slowest checkpoint.
+        let target = max_node_time;
+        for node in cluster.alive_nodes() {
+            let k = cluster.node(node).kernel().expect("alive");
+            if k.now() < target {
+                let dt = target - k.now();
+                let _ = k.run_for(dt);
+            }
+        }
+        let outcome = CoordOutcome {
+            seq,
+            ranks: job.ranks.len(),
+            total_bytes,
+            round_ns: target - t0,
+            incremental,
+        };
+        self.outcomes.push(outcome.clone());
+        Ok(outcome)
+    }
+
+    /// Whether a completed checkpoint exists to recover from.
+    pub fn has_checkpoint(&self) -> bool {
+        self.seq > 0 && !self.saved_ranks.is_empty()
+    }
+
+    /// Restart every rank of the job from the newest coordinated
+    /// checkpoint, placing ranks round-robin on the currently alive nodes
+    /// (ranks from lost nodes migrate automatically). Rebuilds the job's
+    /// rank table and resynchronizes its superstep counter.
+    pub fn restart(&mut self, cluster: &mut Cluster, job: &mut MpiJob) -> SimResult<()> {
+        if !self.has_checkpoint() {
+            return Err(SimError::Usage("no coordinated checkpoint to restart".into()));
+        }
+        // Kill any surviving ranks (a consistent cut requires all ranks to
+        // roll back together).
+        for r in &job.ranks {
+            if let Some(k) = cluster.node(r.node).kernel() {
+                if k.process(r.pid).is_some() {
+                    k.post_signal(r.pid, simos::signal::Sig::SIGKILL);
+                    let _ = k.run_for(1_000_000);
+                    let _ = k.reap(r.pid);
+                }
+            }
+        }
+        let alive = cluster.alive_nodes();
+        if alive.is_empty() {
+            return Err(SimError::Usage("no alive nodes to restart on".into()));
+        }
+        let mut new_ranks = Vec::new();
+        for (i, rank) in self.saved_ranks.clone().into_iter().enumerate() {
+            let node = alive[i % alive.len()];
+            let remote = cluster.nodes[node.0 as usize].remote.clone();
+            let k = cluster.node(node).kernel().expect("alive");
+            let (full, load_ns) = {
+                let s = remote.lock();
+                load_latest_chain(&**s, &self.job_key, rank, &k.cost)
+                    .map_err(|e| SimError::Usage(format!("coordinated load failed: {e}")))?
+            };
+            k.charge(load_ns);
+            let pid = restore_image(
+                k,
+                &full,
+                &RestoreOptions {
+                    pid: RestorePid::Fresh,
+                    run: true,
+                },
+            )?;
+            // Tracking state does not survive migration; re-arm fresh.
+            if let Some(t) = self.trackers.get_mut(&rank) {
+                *t = Tracker::new(self.tracker_kind);
+            }
+            new_ranks.push(RankRef { rank, node, pid });
+        }
+        // Trackers were re-created above (unarmed), so the next
+        // checkpoint round is automatically full; the sequence number
+        // keeps increasing so chain lineage in storage stays valid.
+        job.ranks = new_ranks;
+        job.resync_supersteps(cluster)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::FailureConfig;
+    use crate::node::NodeId;
+    use simos::apps::{AppParams, NativeKind};
+    use simos::cost::CostModel;
+
+    fn setup(n_nodes: usize, n_ranks: u32) -> (Cluster, MpiJob, Coordinator) {
+        let mut c = Cluster::new(n_nodes, CostModel::circa_2005(), FailureConfig::none());
+        let job = MpiJob::launch(
+            &mut c,
+            "app",
+            n_ranks,
+            NativeKind::SparseRandom,
+            AppParams::small(),
+            6,
+            32 * 1024,
+        )
+        .unwrap();
+        let coord = Coordinator::new("job1", TrackerKind::KernelPage);
+        (c, job, coord)
+    }
+
+    #[test]
+    fn coordinated_checkpoint_then_clean_continue() {
+        let (mut c, mut job, mut coord) = setup(3, 6);
+        for _ in 0..2 {
+            job.superstep(&mut c).unwrap();
+        }
+        let o = coord.checkpoint(&mut c, &job).unwrap();
+        assert_eq!(o.ranks, 6);
+        assert!(!o.incremental);
+        assert!(o.total_bytes > 0);
+        // Job continues normally.
+        job.superstep(&mut c).unwrap();
+        assert_eq!(job.completed_supersteps(), 3);
+        // Second checkpoint is incremental and smaller.
+        let o2 = coord.checkpoint(&mut c, &job).unwrap();
+        assert!(o2.incremental);
+        assert!(o2.total_bytes < o.total_bytes);
+    }
+
+    #[test]
+    fn recovery_after_node_loss_migrates_and_preserves_progress() {
+        let (mut c, mut job, mut coord) = setup(3, 6);
+        for _ in 0..3 {
+            job.superstep(&mut c).unwrap();
+        }
+        coord.checkpoint(&mut c, &job).unwrap();
+        // More progress that will be lost.
+        job.superstep(&mut c).unwrap();
+        assert_eq!(job.completed_supersteps(), 4);
+        // Node 1 dies and stays dead.
+        c.inject_failure(NodeId(1));
+        assert!(matches!(
+            job.superstep(&mut c),
+            Err(crate::mpi::JobInterrupt::NodeLost(_))
+        ));
+        coord.restart(&mut c, &mut job).unwrap();
+        // Rolled back to superstep 3 (the checkpoint), ranks only on alive
+        // nodes.
+        assert_eq!(job.completed_supersteps(), 3);
+        for r in &job.ranks {
+            assert_ne!(r.node, NodeId(1));
+        }
+        // The job completes from there.
+        for _ in 0..3 {
+            job.superstep(&mut c).unwrap();
+        }
+        assert_eq!(job.completed_supersteps(), 6);
+    }
+
+    #[test]
+    fn recovered_run_matches_failure_free_run() {
+        // The gold standard: states after recovery + N supersteps must
+        // equal an uninterrupted run's states at the same superstep.
+        let reference = {
+            let (mut c, mut job, _): (Cluster, MpiJob, Coordinator) = setup(2, 4);
+            for _ in 0..6 {
+                job.superstep(&mut c).unwrap();
+            }
+            job.rank_states(&mut c).unwrap()
+        };
+        let (mut c, mut job, mut coord) = setup(2, 4);
+        for _ in 0..3 {
+            job.superstep(&mut c).unwrap();
+        }
+        coord.checkpoint(&mut c, &job).unwrap();
+        job.superstep(&mut c).unwrap(); // superstep 4, will be lost
+        c.inject_failure(NodeId(0));
+        let _ = job.superstep(&mut c);
+        coord.restart(&mut c, &mut job).unwrap();
+        assert_eq!(job.completed_supersteps(), 3);
+        for _ in 0..3 {
+            job.superstep(&mut c).unwrap();
+        }
+        let recovered = job.rank_states(&mut c).unwrap();
+        assert_eq!(recovered, reference, "recovered run diverged");
+    }
+
+    #[test]
+    fn restart_without_checkpoint_refuses() {
+        let (mut c, mut job, mut coord) = setup(2, 2);
+        assert!(coord.restart(&mut c, &mut job).is_err());
+    }
+}

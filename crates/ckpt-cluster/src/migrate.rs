@@ -1,0 +1,230 @@
+//! Process migration between nodes — the original use case of the early
+//! checkpoint/restart systems (VMADump/BProc, CRAK, ZAP) before fault
+//! tolerance.
+//!
+//! Migration = checkpoint on the source node + transfer + restore on the
+//! target. Without virtualization the restore can collide with the
+//! target's resources (same pid, same file paths) — the problem ZAP's pods
+//! solve, at the price of a per-syscall interposition tax
+//! ([`ckpt_core::pod`]).
+
+use crate::cluster::Cluster;
+use crate::node::NodeId;
+use ckpt_core::capture::{capture_image, restore_image, CaptureOptions, RestoreOptions, RestorePid};
+use ckpt_core::pod::Pod;
+use simos::types::{Pid, SimError, SimResult};
+
+/// How the restored process acquires resources on the target node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrationMode {
+    /// Keep the original pid and raw paths — fails on conflicts (the
+    /// pre-ZAP systems).
+    KeepIdentity,
+    /// Take a fresh pid, raw paths — survives pid conflicts only.
+    FreshPid,
+    /// Full pod virtualization — survives both pid and path conflicts.
+    Podded,
+}
+
+/// Result of a completed migration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MigrationReport {
+    pub from: NodeId,
+    pub to: NodeId,
+    pub new_pid: Pid,
+    pub bytes_moved: u64,
+    pub total_ns: u64,
+}
+
+/// Migrate `pid` from `from` to `to` over the interconnect.
+pub fn migrate(
+    cluster: &mut Cluster,
+    from: NodeId,
+    pid: Pid,
+    to: NodeId,
+    mode: MigrationMode,
+    pod: Option<&mut Pod>,
+) -> SimResult<MigrationReport> {
+    if from == to {
+        return Err(SimError::Usage("source and target are the same node".into()));
+    }
+    let t0 = cluster.now();
+    // Source: freeze + capture + send.
+    let img = {
+        let k = cluster
+            .node(from)
+            .kernel()
+            .ok_or_else(|| SimError::Usage(format!("{from} is down")))?;
+        k.freeze_process(pid)?;
+        let mut opts = CaptureOptions::full("migrate", 1);
+        opts.save_file_contents = true;
+        let img = capture_image(k, pid, &opts)?;
+        // Wire cost on the sender.
+        let bytes = ckpt_image::encode(&img).len() as u64;
+        let t = k.cost.net_latency_ns + (bytes as f64 * k.cost.net_ns_per_byte).round() as u64;
+        k.charge(t);
+        img
+    };
+    let bytes_moved = ckpt_image::encode(&img).len() as u64;
+    // Target: receive + restore.
+    let new_pid = {
+        let k = cluster
+            .node(to)
+            .kernel()
+            .ok_or_else(|| SimError::Usage(format!("{to} is down")))?;
+        let t = k.cost.memcpy(bytes_moved);
+        k.charge(t);
+        match mode {
+            MigrationMode::KeepIdentity => restore_image(
+                k,
+                &img,
+                &RestoreOptions {
+                    pid: RestorePid::Original,
+                    run: true,
+                },
+            )?,
+            MigrationMode::FreshPid => restore_image(
+                k,
+                &img,
+                &RestoreOptions {
+                    pid: RestorePid::Fresh,
+                    run: true,
+                },
+            )?,
+            MigrationMode::Podded => {
+                let pod = pod.ok_or_else(|| {
+                    SimError::Usage("Podded migration requires a pod".into())
+                })?;
+                pod.restore(k, &img)?
+            }
+        }
+    };
+    // Source: the process has left the building.
+    {
+        let k = cluster
+            .node(from)
+            .kernel()
+            .ok_or_else(|| SimError::Usage(format!("{from} went down mid-migration")))?;
+        if let Some(p) = k.process_mut(pid) {
+            p.state = simos::pcb::ProcState::Zombie { code: 0 };
+        }
+        let _ = k.reap(pid);
+    }
+    Ok(MigrationReport {
+        from,
+        to,
+        new_pid,
+        bytes_moved,
+        total_ns: cluster.now().max(t0) - t0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::FailureConfig;
+    use simos::apps::{AppParams, NativeKind};
+    use simos::cost::CostModel;
+
+    fn setup() -> (Cluster, Pid) {
+        let mut c = Cluster::new(2, CostModel::circa_2005(), FailureConfig::none());
+        let mut params = AppParams::small();
+        params.total_steps = u64::MAX;
+        let pid = c
+            .node(NodeId(0))
+            .kernel()
+            .unwrap()
+            .spawn_native(NativeKind::SparseRandom, params)
+            .unwrap();
+        c.advance(20_000_000);
+        (c, pid)
+    }
+
+    #[test]
+    fn migration_moves_execution_to_the_target() {
+        let (mut c, pid) = setup();
+        let w0 = c
+            .node(NodeId(0))
+            .kernel()
+            .unwrap()
+            .process(pid)
+            .unwrap()
+            .work_done;
+        let r = migrate(&mut c, NodeId(0), pid, NodeId(1), MigrationMode::FreshPid, None).unwrap();
+        assert!(r.bytes_moved > 0);
+        // Gone from source, running on target with progress preserved.
+        assert!(c.node(NodeId(0)).kernel().unwrap().process(pid).is_none());
+        let w1 = c
+            .node(NodeId(1))
+            .kernel()
+            .unwrap()
+            .process(r.new_pid)
+            .unwrap()
+            .work_done;
+        assert_eq!(w1, w0);
+        c.advance(30_000_000);
+        assert!(
+            c.node(NodeId(1))
+                .kernel()
+                .unwrap()
+                .process(r.new_pid)
+                .unwrap()
+                .work_done
+                > w0
+        );
+    }
+
+    #[test]
+    fn keep_identity_fails_on_pid_conflict_pod_succeeds() {
+        let (mut c, pid) = setup();
+        // Occupy the same pid number on the target.
+        let squatter_params = AppParams::small();
+        let squatter = c
+            .node(NodeId(1))
+            .kernel()
+            .unwrap()
+            .spawn_native(NativeKind::SparseRandom, {
+                let mut p = squatter_params;
+                p.total_steps = u64::MAX;
+                p
+            })
+            .unwrap();
+        assert_eq!(squatter.0, pid.0, "test setup: pids must collide");
+        let err = migrate(
+            &mut c,
+            NodeId(0),
+            pid,
+            NodeId(1),
+            MigrationMode::KeepIdentity,
+            None,
+        );
+        assert!(err.is_err(), "identity migration must hit the conflict");
+        // Thaw the source process back (it was frozen by the attempt).
+        c.node(NodeId(0)).kernel().unwrap().thaw_process(pid).unwrap();
+        let mut pod = Pod::new("migrated");
+        let r = migrate(
+            &mut c,
+            NodeId(0),
+            pid,
+            NodeId(1),
+            MigrationMode::Podded,
+            Some(&mut pod),
+        )
+        .unwrap();
+        assert_ne!(r.new_pid.0, pid.0);
+        assert_eq!(pod.physical(pid.0), Some(r.new_pid));
+    }
+
+    #[test]
+    fn migration_to_dead_node_fails() {
+        let (mut c, pid) = setup();
+        c.inject_failure(NodeId(1));
+        assert!(migrate(&mut c, NodeId(0), pid, NodeId(1), MigrationMode::FreshPid, None).is_err());
+    }
+
+    #[test]
+    fn self_migration_rejected() {
+        let (mut c, pid) = setup();
+        assert!(migrate(&mut c, NodeId(0), pid, NodeId(0), MigrationMode::FreshPid, None).is_err());
+    }
+}

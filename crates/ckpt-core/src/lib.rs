@@ -1,0 +1,50 @@
+//! # ckpt-core — the checkpoint/restart engine
+//!
+//! Implements every point of the paper's taxonomy (Figure 1) against the
+//! [`simos`] substrate:
+//!
+//! * **Trackers** ([`tracker`]): full, page-protection incremental at
+//!   kernel and user level, probabilistic block-hash, adaptive block,
+//!   hardware cache-line.
+//! * **Capture/restore** ([`capture`]): kernel-context PCB walking into
+//!   [`ckpt_image::CheckpointImage`]s and back.
+//! * **User-level agents** ([`agents`]): the modelled checkpoint library
+//!   that gathers state through syscalls — the Section 3 schemes.
+//! * **Mechanisms** ([`mechanism`]): the seven mechanism families —
+//!   user library/signal/preload, new system call, kernel-mode signal
+//!   handler, kernel thread, fork-concurrent, hardware-assisted.
+//! * **Pod virtualization** ([`pod`]): ZAP-style resource translation for
+//!   conflict-free migration.
+//! * **Policies** ([`policy`]): user-initiated, periodic, and adaptive
+//!   (Young's formula) checkpoint intervals.
+//! * **The autonomic daemon** ([`autonomic`]): the paper's "direction
+//!   forward" — automatic system-level initiation, kernel-level incremental
+//!   tracking, remote storage, self-tuned interval.
+
+pub mod agents;
+pub mod autonomic;
+pub mod capture;
+pub mod mechanism;
+pub mod pod;
+pub mod policy;
+pub mod report;
+pub mod tracker;
+
+pub use capture::{
+    capture_image, restore_image, CaptureOptions, PageSelection, RestoreOptions, RestorePid,
+};
+pub use report::{CkptOutcome, RestartOutcome};
+pub use tracker::{Collected, Tracker, TrackerKind};
+
+use ckpt_storage::StableStorage;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Storage handle shareable between mechanisms (outside the kernel) and the
+/// kernel modules / agents they install (inside it).
+pub type SharedStorage = Arc<Mutex<Box<dyn StableStorage>>>;
+
+/// Wrap a backend for sharing.
+pub fn shared_storage(s: impl StableStorage + 'static) -> SharedStorage {
+    Arc::new(Mutex::new(Box::new(s)))
+}

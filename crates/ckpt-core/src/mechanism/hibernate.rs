@@ -1,0 +1,210 @@
+//! Software Suspend (swsusp): whole-machine hibernation via the kernel's
+//! own freeze-everything signal.
+//!
+//! Section 4.1: "A new default kernel signal is implemented to initiate the
+//! hibernation which is delivered to every process in the system to freeze
+//! their execution. When all processes are stopped the image of the RAM is
+//! saved on the swap partition in the local disk. After that it powers down
+//! the system. At start-up the image is restored from disk and all the
+//! processes are restarted." A *standby* mode keeps the image in RAM
+//! instead — fast, but it does not survive the power-down.
+
+use crate::capture::{capture_image, restore_image, CaptureOptions, RestoreOptions, RestorePid};
+use crate::SharedStorage;
+use ckpt_storage::{image_key, store_image};
+use simos::types::{Pid, SimError, SimResult};
+use simos::Kernel;
+
+/// Where the hibernation image goes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SuspendMode {
+    /// To the swap partition — survives power-down (hibernation).
+    ToDisk,
+    /// To RAM — fast, lost on power-down (standby).
+    ToRam,
+}
+
+/// Result of a completed hibernation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HibernateReport {
+    pub processes_saved: usize,
+    pub bytes_written: u64,
+    pub total_ns: u64,
+    pub mode: SuspendMode,
+}
+
+/// The Software Suspend mechanism (static kernel; user-initiated via a
+/// script; local storage only).
+pub struct SoftwareSuspend {
+    storage: SharedStorage,
+    job: String,
+    saved_pids: Vec<u32>,
+    seq: u64,
+}
+
+impl SoftwareSuspend {
+    pub fn new(storage: SharedStorage) -> Self {
+        SoftwareSuspend {
+            storage,
+            job: "swsusp".into(),
+            saved_pids: Vec::new(),
+            seq: 0,
+        }
+    }
+
+    /// Freeze every process, save all their images, and power the node
+    /// down (the caller then drops or re-creates the kernel; storage
+    /// backends get their `on_power_down` from the cluster layer).
+    pub fn hibernate(&mut self, k: &mut Kernel, mode: SuspendMode) -> SimResult<HibernateReport> {
+        let t0 = k.now();
+        self.seq += 1;
+        // The freeze signal reaches every process (charged per process).
+        let pids: Vec<Pid> = k
+            .pids()
+            .into_iter()
+            .filter(|p| k.process(*p).map(|p| !p.has_exited()).unwrap_or(false))
+            .collect();
+        for pid in &pids {
+            let t = k.cost.signal_deliver_ns;
+            k.charge(t);
+            k.freeze_process(*pid)?;
+        }
+        // Save the RAM image: one image per process, contiguous swap
+        // write.
+        let mut bytes = 0u64;
+        self.saved_pids.clear();
+        for pid in &pids {
+            let mut opts = CaptureOptions::full("swsusp", self.seq);
+            opts.save_file_contents = true;
+            let img = capture_image(k, *pid, &opts)?;
+            let (b, t) = {
+                let mut storage = self.storage.lock();
+                let receipt = store_image(storage.as_mut(), &self.job, &img, &k.cost)
+                    .map_err(|e| SimError::Usage(format!("swsusp store failed: {e}")))?;
+                (receipt.bytes, receipt.time_ns)
+            };
+            bytes += b;
+            k.charge(t);
+            self.saved_pids.push(pid.0);
+        }
+        // Power down: processes are gone with the kernel; the caller stops
+        // using `k`.
+        Ok(HibernateReport {
+            processes_saved: pids.len(),
+            bytes_written: bytes,
+            total_ns: k.now() - t0,
+            mode,
+        })
+    }
+
+    /// Boot-time resume: restore every saved process onto a fresh kernel,
+    /// under original pids.
+    pub fn resume(&mut self, k: &mut Kernel) -> SimResult<Vec<Pid>> {
+        let mut restored = Vec::new();
+        for pid in self.saved_pids.clone() {
+            let (img, t) = {
+                let storage = self.storage.lock();
+                let key = image_key(&self.job, pid, self.seq);
+                let (bytes, t) = storage
+                    .load(&key, &k.cost)
+                    .map_err(|e| SimError::Usage(format!("resume load failed: {e}")))?;
+                (
+                    ckpt_image::decode(&bytes)
+                        .map_err(|e| SimError::Usage(format!("resume decode failed: {e}")))?,
+                    t,
+                )
+            };
+            k.charge(t);
+            let new_pid = restore_image(
+                k,
+                &img,
+                &RestoreOptions {
+                    pid: RestorePid::Original,
+                    run: true,
+                },
+            )?;
+            restored.push(new_pid);
+        }
+        Ok(restored)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shared_storage;
+    use ckpt_storage::{RamStore, SwapStore};
+    use simos::apps::{AppParams, NativeKind};
+    use simos::cost::CostModel;
+
+    fn populated_kernel() -> (Kernel, Vec<Pid>) {
+        let mut k = Kernel::new(CostModel::circa_2005());
+        let mut pids = Vec::new();
+        for _ in 0..3 {
+            let mut params = AppParams::small();
+            params.total_steps = u64::MAX;
+            pids.push(k.spawn_native(NativeKind::SparseRandom, params).unwrap());
+        }
+        k.run_for(30_000_000).unwrap();
+        (k, pids)
+    }
+
+    #[test]
+    fn hibernate_to_disk_survives_power_down() {
+        let (mut k, pids) = populated_kernel();
+        let storage = shared_storage(SwapStore::new(1 << 30));
+        let mut susp = SoftwareSuspend::new(storage.clone());
+        let report = susp.hibernate(&mut k, SuspendMode::ToDisk).unwrap();
+        assert_eq!(report.processes_saved, 3);
+        assert!(report.bytes_written > 0);
+        let works: Vec<u64> = pids
+            .iter()
+            .map(|p| k.process(*p).unwrap().work_done)
+            .collect();
+        // Power down: the node loses RAM; swap survives.
+        storage.lock().on_power_down();
+        drop(k);
+        // Boot: fresh kernel, resume everything under original pids.
+        let mut k2 = Kernel::new(CostModel::circa_2005());
+        let restored = susp.resume(&mut k2).unwrap();
+        assert_eq!(restored, pids);
+        for (pid, w) in pids.iter().zip(works) {
+            assert_eq!(k2.process(*pid).unwrap().work_done, w);
+        }
+        // And they keep running.
+        k2.run_for(30_000_000).unwrap();
+        assert!(k2.process(pids[0]).unwrap().work_done > 0);
+    }
+
+    #[test]
+    fn standby_to_ram_is_lost_on_power_down() {
+        let (mut k, _pids) = populated_kernel();
+        let storage = shared_storage(RamStore::new(1 << 30));
+        let mut susp = SoftwareSuspend::new(storage.clone());
+        susp.hibernate(&mut k, SuspendMode::ToRam).unwrap();
+        storage.lock().on_power_down();
+        drop(k);
+        let mut k2 = Kernel::new(CostModel::circa_2005());
+        assert!(
+            susp.resume(&mut k2).is_err(),
+            "standby image must not survive power-down"
+        );
+    }
+
+    #[test]
+    fn all_processes_frozen_during_hibernate() {
+        let (mut k, pids) = populated_kernel();
+        let storage = shared_storage(SwapStore::new(1 << 30));
+        let mut susp = SoftwareSuspend::new(storage);
+        susp.hibernate(&mut k, SuspendMode::ToDisk).unwrap();
+        // After hibernate (before "power down") everything is frozen.
+        let works: Vec<u64> = pids
+            .iter()
+            .map(|p| k.process(*p).unwrap().work_done)
+            .collect();
+        k.run_for(50_000_000).unwrap();
+        for (pid, w) in pids.iter().zip(works) {
+            assert_eq!(k.process(*pid).unwrap().work_done, w, "{pid} not frozen");
+        }
+    }
+}

@@ -1,0 +1,527 @@
+//! The kernel-thread mechanism (Section 4.1): CRAK, ZAP, UCLiK, BLCR,
+//! LAM/MPI, PsncR/C.
+//!
+//! A dedicated kernel thread performs the checkpoint. The paper's analysis,
+//! all reproduced here:
+//!
+//! * the thread is reached through a device file (`/dev/<name>` + `ioctl`,
+//!   CRAK/BLCR) or a `/proc` entry (PsncR/C) — see [`KthreadIface`];
+//! * it runs `SCHED_FIFO`, so it "will be executed as soon as it wakes up
+//!   and will run until it has completed its work" — competing `SCHED_OTHER`
+//!   load cannot delay it (contrast with the kernel-signal deferral);
+//! * it "uses the page tables of the task it interrupted" — if that is not
+//!   the checkpoint target, an **address-space switch (and TLB
+//!   invalidation)** is charged via [`Kernel::kthread_attach_mm`];
+//! * it runs concurrently with the application, so the target must be
+//!   **stopped** ("removing the application from its runqueue list") for
+//!   data consistency — the app stall window.
+//!
+//! Variant flags model the surveyed systems' distinguishing features:
+//! BLCR's registration phase (not fully transparent), UCLiK's original-pid
+//! and file-content restoration, PsncR/C's lack of data optimization.
+
+use super::{
+    charge_tool_syscall, run_until, AgentKind, Context, Initiation, KernelCkptEngine, Mechanism,
+    MechanismInfo,
+};
+use crate::report::{CkptOutcome, RestartOutcome};
+use crate::tracker::TrackerKind;
+use crate::{RestorePid, SharedStorage};
+use simos::module::{KernelModule, KthreadStatus};
+use simos::sched::SchedPolicy;
+use simos::signal::{Sig, SigAction, UserHandlerKind};
+use simos::syscall::Syscall;
+use simos::types::{Errno, KtId, Pid, SimError, SimResult, SysResult};
+use simos::Kernel;
+use std::any::Any;
+use std::collections::{BTreeMap, VecDeque};
+
+/// How user space reaches the kernel thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KthreadIface {
+    /// A character device in `/dev`, driven with `ioctl` (CRAK, BLCR).
+    Ioctl,
+    /// A `/proc` entry driven with `write` (PsncR/C, MOSIX-style).
+    ProcWrite,
+}
+
+/// ioctl request codes for the checkpoint device.
+pub const IOCTL_CHECKPOINT: u64 = 1;
+
+/// Variant knobs distinguishing the surveyed kernel-thread systems.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KthreadVariant {
+    /// BLCR: the process must register (signal handler + shared library
+    /// load) before it can be checkpointed → not fully transparent.
+    pub needs_registration: bool,
+    /// UCLiK: restore under the original pid.
+    pub restore_original_pid: bool,
+    /// UCLiK: snapshot open files' contents into the image.
+    pub save_file_contents: bool,
+    /// PsncR/C is `false`: "does not perform any data optimization".
+    pub compress: bool,
+}
+
+impl Default for KthreadVariant {
+    fn default() -> Self {
+        KthreadVariant {
+            needs_registration: false,
+            restore_original_pid: false,
+            save_file_contents: false,
+            compress: true,
+        }
+    }
+}
+
+/// The loadable kernel module owning the checkpoint kernel thread.
+pub struct CkptKthreadModule {
+    name: String,
+    job: String,
+    storage: SharedStorage,
+    tracker: TrackerKind,
+    iface: KthreadIface,
+    rt_prio: u8,
+    variant: KthreadVariant,
+    engines: BTreeMap<u32, KernelCkptEngine>,
+    queue: VecDeque<(u32, u64)>, // (pid, initiated_at)
+    kt: Option<KtId>,
+    pub outcomes: Vec<(Pid, CkptOutcome)>,
+    pub requests_failed: u64,
+}
+
+impl CkptKthreadModule {
+    pub fn new(
+        name: &str,
+        job: &str,
+        storage: SharedStorage,
+        tracker: TrackerKind,
+        iface: KthreadIface,
+        rt_prio: u8,
+        variant: KthreadVariant,
+    ) -> Self {
+        CkptKthreadModule {
+            name: name.to_string(),
+            job: job.to_string(),
+            storage,
+            tracker,
+            iface,
+            rt_prio,
+            variant,
+            engines: BTreeMap::new(),
+            queue: VecDeque::new(),
+            kt: None,
+            outcomes: Vec::new(),
+            requests_failed: 0,
+        }
+    }
+
+    pub fn kthread_id(&self) -> Option<KtId> {
+        self.kt
+    }
+
+    pub fn device_path(&self) -> String {
+        match self.iface {
+            KthreadIface::Ioctl => format!("/dev/{}", self.name),
+            KthreadIface::ProcWrite => format!("/proc/{}", self.name),
+        }
+    }
+
+    fn enqueue(&mut self, k: &mut Kernel, target: Pid) -> SysResult {
+        if k.process(target).is_none() {
+            return Err(Errno::ESRCH);
+        }
+        self.engines.entry(target.0).or_insert_with(|| {
+            let mut e = KernelCkptEngine::new(
+                &self.name,
+                &self.job,
+                self.storage.clone(),
+                self.tracker,
+            );
+            e.compress = self.variant.compress;
+            e.save_file_contents = self.variant.save_file_contents;
+            e.set_target(target);
+            e
+        });
+        self.queue.push_back((target.0, k.now()));
+        if let Some(kt) = self.kt {
+            let _ = k.wake_kthread(kt);
+        }
+        Ok(0)
+    }
+}
+
+impl KernelModule for CkptKthreadModule {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn on_load(&mut self, k: &mut Kernel) {
+        let name = self.name.clone();
+        self.kt = Some(k.spawn_kthread(
+            &format!("{name}d"),
+            &name,
+            SchedPolicy::Fifo {
+                rt_prio: self.rt_prio,
+            },
+        ));
+        match self.iface {
+            KthreadIface::Ioctl => {
+                let _ = k.fs.register_device(&format!("/dev/{name}"), &name, 0);
+            }
+            KthreadIface::ProcWrite => {
+                let _ = k.fs.register_proc(&format!("/proc/{name}"), &name, "ckpt");
+            }
+        }
+    }
+
+    fn on_unload(&mut self, k: &mut Kernel) {
+        let _ = k.fs.unlink(&self.device_path());
+    }
+
+    fn ioctl(&mut self, k: &mut Kernel, _pid: Pid, _minor: u32, req: u64, arg: u64) -> SysResult {
+        match req {
+            IOCTL_CHECKPOINT => self.enqueue(k, Pid(arg as u32)),
+            _ => Err(Errno::ENOTTY),
+        }
+    }
+
+    fn proc_write(&mut self, k: &mut Kernel, _pid: Pid, _tag: &str, data: &[u8]) -> SysResult {
+        let text = String::from_utf8_lossy(data);
+        let pid: u32 = text.trim().parse().map_err(|_| Errno::EINVAL)?;
+        self.enqueue(k, Pid(pid))?;
+        Ok(data.len() as u64)
+    }
+
+    fn kthread_run(&mut self, k: &mut Kernel, _kt: KtId) -> KthreadStatus {
+        let Some((pid_raw, initiated_at)) = self.queue.pop_front() else {
+            return KthreadStatus::Sleep;
+        };
+        let target = Pid(pid_raw);
+        // Consistency: stop the application ("removing it from its
+        // runqueue list").
+        if k.freeze_process(target).is_err() {
+            self.requests_failed += 1;
+            return if self.queue.is_empty() {
+                KthreadStatus::Sleep
+            } else {
+                KthreadStatus::Yield
+            };
+        }
+        let stall_start = k.now();
+        // The kernel thread borrowed the interrupted task's page tables;
+        // switching to the target's address space costs an mm switch + TLB
+        // flush exactly when they differ (the paper's point).
+        let _ = k.kthread_attach_mm(target);
+        let engine = self.engines.get_mut(&pid_raw).expect("enqueued ⇒ engine");
+        match engine.checkpoint_in_kernel(k, target) {
+            Ok(mut outcome) => {
+                let _ = k.thaw_process(target);
+                outcome.app_stall_ns = k.now() - stall_start;
+                outcome.total_ns = k.now() - initiated_at;
+                self.outcomes.push((target, outcome));
+            }
+            Err(_) => {
+                let _ = k.thaw_process(target);
+                self.requests_failed += 1;
+            }
+        }
+        if self.queue.is_empty() {
+            KthreadStatus::Sleep
+        } else {
+            KthreadStatus::Yield
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// The mechanism wrapper.
+pub struct KernelThreadMechanism {
+    pub module_name: String,
+    pub iface: KthreadIface,
+    pub rt_prio: u8,
+    pub variant: KthreadVariant,
+    storage: SharedStorage,
+    job: String,
+    tracker: TrackerKind,
+    target: Option<Pid>,
+}
+
+impl KernelThreadMechanism {
+    pub fn new(
+        module_name: &str,
+        job: &str,
+        storage: SharedStorage,
+        tracker: TrackerKind,
+        iface: KthreadIface,
+        variant: KthreadVariant,
+    ) -> Self {
+        KernelThreadMechanism {
+            module_name: module_name.to_string(),
+            iface,
+            rt_prio: 50,
+            variant,
+            storage,
+            job: job.to_string(),
+            tracker,
+            target: None,
+        }
+    }
+}
+
+impl Mechanism for KernelThreadMechanism {
+    fn info(&self) -> MechanismInfo {
+        MechanismInfo {
+            family: "kernel-thread",
+            context: Context::SystemOs,
+            agent: AgentKind::KernelThread,
+            is_kernel_module: true,
+            transparent: !self.variant.needs_registration,
+            supports_incremental: self.tracker.supports_incremental(),
+            initiation: Initiation::UserInitiated,
+        }
+    }
+
+    fn prepare(&mut self, k: &mut Kernel, pid: Pid) -> SimResult<()> {
+        self.target = Some(pid);
+        if !k.module_loaded(&self.module_name) {
+            k.register_module(Box::new(CkptKthreadModule::new(
+                &self.module_name,
+                &self.job,
+                self.storage.clone(),
+                self.tracker,
+                self.iface,
+                self.rt_prio,
+                self.variant,
+            )))?;
+        }
+        if self.variant.needs_registration {
+            // BLCR's initialization: load the shared library into the
+            // process and register a signal handler — the reason Table 1
+            // marks BLCR non-transparent.
+            let lib_bytes = 512 * 1024;
+            let t = k.cost.memcpy(lib_bytes);
+            k.charge_user(t);
+            k.do_syscall(
+                pid,
+                Syscall::Sigaction {
+                    sig: Sig::SIGUSR2,
+                    action: SigAction::Handler {
+                        kind: UserHandlerKind::CountOnly,
+                        uses_non_reentrant: false,
+                    },
+                },
+            )
+            .map_err(|e| SimError::Usage(format!("BLCR registration failed: {e:?}")))?;
+        }
+        Ok(())
+    }
+
+    fn checkpoint(&mut self, k: &mut Kernel, pid: Pid) -> SimResult<CkptOutcome> {
+        let name = self.module_name.clone();
+        let before = self.outcomes(k).len();
+        // The tool: open the device//proc entry, issue the request, close.
+        for _ in 0..3 {
+            charge_tool_syscall(k);
+        }
+        match self.iface {
+            KthreadIface::Ioctl => {
+                k.stats.ioctls += 1;
+                k.dispatch_module(&name, |m, k| {
+                    m.ioctl(k, pid, 0, IOCTL_CHECKPOINT, pid.0 as u64)
+                })
+                .ok_or_else(|| SimError::Usage("module missing".into()))?
+                .map_err(|e| SimError::Usage(format!("ioctl failed: {e:?}")))?;
+            }
+            KthreadIface::ProcWrite => {
+                let data = pid.0.to_string().into_bytes();
+                k.dispatch_module(&name, |m, k| m.proc_write(k, pid, "ckpt", &data))
+                    .ok_or_else(|| SimError::Usage("module missing".into()))?
+                    .map_err(|e| SimError::Usage(format!("proc write failed: {e:?}")))?;
+            }
+        }
+        run_until(k, 60_000_000_000, "kthread checkpoint", |k| {
+            k.with_module_mut::<CkptKthreadModule, _>(&name, |m, _| m.outcomes.len())
+                .unwrap_or(0)
+                > before
+        })?;
+        let all = self.outcomes(k);
+        all.get(before)
+            .cloned()
+            .ok_or_else(|| SimError::Usage("no outcome recorded".into()))
+    }
+
+    fn restart(&mut self, k: &mut Kernel, pid: RestorePid) -> SimResult<RestartOutcome> {
+        let target = self
+            .target
+            .ok_or_else(|| SimError::Usage("not prepared".into()))?;
+        let sel = if self.variant.restore_original_pid {
+            RestorePid::Original
+        } else {
+            pid
+        };
+        super::restart_from_shared(&self.storage, &self.job, target, k, sel)
+    }
+
+    fn outcomes(&self, k: &mut Kernel) -> Vec<CkptOutcome> {
+        k.with_module_mut::<CkptKthreadModule, _>(&self.module_name, |m, _| {
+            m.outcomes.iter().map(|(_, o)| o.clone()).collect()
+        })
+        .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shared_storage;
+    use ckpt_storage::LocalDisk;
+    use simos::apps::{AppParams, NativeKind};
+    use simos::cost::CostModel;
+
+    fn setup(iface: KthreadIface, variant: KthreadVariant) -> (Kernel, Pid, KernelThreadMechanism) {
+        let mut k = Kernel::new(CostModel::circa_2005());
+        let mut params = AppParams::small();
+        params.total_steps = u64::MAX;
+        let pid = k.spawn_native(NativeKind::SparseRandom, params).unwrap();
+        let mut mech = KernelThreadMechanism::new(
+            "crak",
+            "job",
+            shared_storage(LocalDisk::new(1 << 30)),
+            TrackerKind::KernelPage,
+            iface,
+            variant,
+        );
+        mech.prepare(&mut k, pid).unwrap();
+        (k, pid, mech)
+    }
+
+    #[test]
+    fn device_file_created_and_checkpoint_via_ioctl_works() {
+        let (mut k, pid, mut mech) = setup(KthreadIface::Ioctl, KthreadVariant::default());
+        assert!(k.fs.exists("/dev/crak"));
+        k.run_for(20_000_000).unwrap();
+        let o = mech.checkpoint(&mut k, pid).unwrap();
+        assert!(o.pages_saved > 0);
+        assert!(k.stats.ioctls >= 1);
+        // The target was frozen only for the stall window and continues.
+        let w = k.process(pid).unwrap().work_done;
+        k.run_for(20_000_000).unwrap();
+        assert!(k.process(pid).unwrap().work_done > w);
+    }
+
+    #[test]
+    fn proc_interface_works_too() {
+        let (mut k, pid, mut mech) = setup(KthreadIface::ProcWrite, KthreadVariant::default());
+        assert!(k.fs.exists("/proc/crak"));
+        k.run_for(10_000_000).unwrap();
+        let o = mech.checkpoint(&mut k, pid).unwrap();
+        assert_eq!(o.seq, 1);
+    }
+
+    #[test]
+    fn kthread_pays_the_address_space_switch() {
+        let (mut k, pid, mut mech) = setup(KthreadIface::Ioctl, KthreadVariant::default());
+        // Ensure a *different* task's address space is active when the
+        // kernel thread runs: freeze the target, let another process run,
+        // then request the checkpoint.
+        let mut params = AppParams::small();
+        params.total_steps = u64::MAX;
+        let other = k.spawn_native(NativeKind::SparseRandom, params).unwrap();
+        k.freeze_process(pid).unwrap();
+        k.run_for(20_000_000).unwrap();
+        assert_eq!(k.active_mm(), Some(other));
+        k.thaw_process(pid).unwrap();
+        let mm0 = k.stats.mm_switches;
+        // Stop the other process from running again before the kthread
+        // (freeze it), so the active mm is still `other`'s at attach time.
+        k.freeze_process(other).unwrap();
+        mech.checkpoint(&mut k, pid).unwrap();
+        // The checkpoint itself required attaching to the target's space:
+        // at least one extra mm switch beyond ordinary scheduling.
+        assert!(
+            k.stats.mm_switches > mm0,
+            "expected an mm switch charged to the kernel thread"
+        );
+    }
+
+    #[test]
+    fn kthread_is_module_and_unloadable() {
+        let (mut k, _pid, mech) = setup(KthreadIface::Ioctl, KthreadVariant::default());
+        assert!(mech.info().is_kernel_module);
+        k.unload_module("crak").unwrap();
+        assert!(!k.fs.exists("/dev/crak"));
+    }
+
+    #[test]
+    fn blcr_registration_costs_transparency() {
+        let variant = KthreadVariant {
+            needs_registration: true,
+            ..Default::default()
+        };
+        let (k, pid, mech) = setup(KthreadIface::Ioctl, variant);
+        assert!(!mech.info().transparent);
+        // The registration actually installed a handler.
+        let p = k.process(pid).unwrap();
+        assert!(matches!(
+            p.sig.action(Sig::SIGUSR2),
+            SigAction::Handler { .. }
+        ));
+        drop(k);
+    }
+
+    #[test]
+    fn uclik_restores_original_pid_and_file_contents() {
+        let variant = KthreadVariant {
+            restore_original_pid: true,
+            save_file_contents: true,
+            ..Default::default()
+        };
+        let (mut k, pid, mut mech) = setup(KthreadIface::Ioctl, variant);
+        k.do_syscall(
+            pid,
+            Syscall::Open {
+                path: "/tmp/data".into(),
+                flags: simos::fs::OpenFlags::RDWR_CREATE,
+            },
+        )
+        .unwrap();
+        k.fs.write_at("/tmp/data", 0, b"precious").unwrap();
+        k.run_for(20_000_000).unwrap();
+        mech.checkpoint(&mut k, pid).unwrap();
+        // Restart on a fresh kernel without the file: both pid and content
+        // come back.
+        let mut k2 = Kernel::new(CostModel::circa_2005());
+        let r = mech.restart(&mut k2, RestorePid::Fresh).unwrap();
+        assert_eq!(r.pid, pid, "UCLiK restores the original pid");
+        assert_eq!(k2.fs.read_file("/tmp/data").unwrap(), b"precious");
+    }
+
+    #[test]
+    fn psnc_variant_ships_uncompressed_images() {
+        let plain = KthreadVariant {
+            compress: false,
+            ..Default::default()
+        };
+        let (mut k, pid, mut mech) = setup(KthreadIface::ProcWrite, plain);
+        k.run_for(10_000_000).unwrap();
+        let o = mech.checkpoint(&mut k, pid).unwrap();
+        // Without zero-elision/RLE the encoded size is at least the raw
+        // memory represented.
+        assert!(o.encoded_bytes >= o.memory_bytes);
+    }
+
+    #[test]
+    fn checkpoint_of_dead_process_fails_cleanly() {
+        let (mut k, pid, mut mech) = setup(KthreadIface::Ioctl, KthreadVariant::default());
+        k.post_signal(pid, Sig::SIGKILL);
+        k.run_for(50_000_000).unwrap();
+        k.reap(pid).unwrap();
+        assert!(mech.checkpoint(&mut k, pid).is_err());
+    }
+}

@@ -1,0 +1,448 @@
+//! The checkpoint/restart mechanism families of the paper's taxonomy.
+//!
+//! Figure 1 classifies implementations by *context* (user vs system level),
+//! *agent* (who performs the work), and *implementation specifics*. Each
+//! submodule here is one leaf of that tree, implemented for real against
+//! the simulated kernel:
+//!
+//! | Module | Taxonomy leaf | Surveyed systems |
+//! |--------|---------------|------------------|
+//! | [`user_level`] | user-level library call / signal handler / LD_PRELOAD | libckpt, libckp, Esky, Condor, CLIP, … |
+//! | [`syscall`] | system-level, new system call | VMADump, BPROC, EPCKPT, Checkpoint |
+//! | [`ksignal`] | system-level, kernel-mode signal handler | CHPOX, Software Suspend |
+//! | [`kthread`] | system-level, kernel thread | CRAK, ZAP, UCLiK, BLCR, LAM/MPI, PsncR/C |
+//! | [`fork_concurrent`] | system-level, concurrent (forked) checkpointing | Checkpoint (Carothers & Szymanski) |
+//! | [`hardware`] | hardware-assisted | ReVive, SafetyNet |
+
+pub mod fork_concurrent;
+pub mod hardware;
+pub mod hibernate;
+pub mod ksignal;
+pub mod kthread;
+pub mod syscall;
+pub mod user_level;
+
+use crate::capture::{capture_image, restore_image, CaptureOptions, RestoreOptions, RestorePid};
+use crate::report::{CkptOutcome, RestartOutcome};
+use crate::tracker::{Tracker, TrackerKind};
+use crate::SharedStorage;
+use ckpt_image::ImageKind;
+use ckpt_storage::{load_latest_chain, prune_before, store_image};
+use simos::types::{Pid, SimError, SimResult};
+use simos::Kernel;
+
+/// Where the mechanism's checkpoint code executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Context {
+    UserLevel,
+    SystemOs,
+    Hardware,
+}
+
+/// The agent performing the checkpoint (Figure 1's middle dimension).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AgentKind {
+    LibraryCall,
+    UserSignalHandler,
+    Preload,
+    SystemCall,
+    KernelSignal,
+    KernelThread,
+    ConcurrentFork,
+    DirectoryController,
+    CacheBased,
+}
+
+/// Who can initiate a checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Initiation {
+    /// Only the application itself triggers checkpoints (inserted calls or
+    /// timers compiled in) — the "automatic" column of Table 1.
+    Automatic,
+    /// An external party (user, administrator, resource manager) can
+    /// trigger a checkpoint at any time.
+    UserInitiated,
+}
+
+/// Static description of a mechanism (feeds Table 1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MechanismInfo {
+    pub family: &'static str,
+    pub context: Context,
+    pub agent: AgentKind,
+    /// Implemented as a loadable kernel module (vs static kernel or pure
+    /// user space).
+    pub is_kernel_module: bool,
+    /// No application source modification / recompile / relink required.
+    pub transparent: bool,
+    pub supports_incremental: bool,
+    pub initiation: Initiation,
+}
+
+/// A checkpoint/restart mechanism bound to (at most) one target process.
+pub trait Mechanism {
+    fn info(&self) -> MechanismInfo;
+
+    /// Install whatever the mechanism needs (kernel modules, agents,
+    /// signal handlers, tracing) for `pid`. Must be called before the
+    /// process runs if the mechanism interposes from the start.
+    fn prepare(&mut self, k: &mut Kernel, pid: Pid) -> SimResult<()>;
+
+    /// Initiate a checkpoint *now* and drive the kernel until the image is
+    /// durable. Mechanisms with `Initiation::Automatic` return an error —
+    /// the inflexibility the paper criticizes.
+    fn checkpoint(&mut self, k: &mut Kernel, pid: Pid) -> SimResult<CkptOutcome>;
+
+    /// Restore the latest checkpoint of the prepared process from this
+    /// mechanism's storage onto `k` (possibly a different kernel/node).
+    fn restart(&mut self, k: &mut Kernel, pid: RestorePid) -> SimResult<RestartOutcome>;
+
+    /// Outcomes of all checkpoints taken so far (including automatic
+    /// ones). Ordered.
+    fn outcomes(&self, k: &mut Kernel) -> Vec<CkptOutcome>;
+}
+
+/// The shared kernel-context checkpoint engine used by every system-level
+/// mechanism: decides full vs incremental, walks the PCB, compresses,
+/// stores, prunes, re-arms tracking. Callers handle freezing and stall
+/// accounting.
+pub struct KernelCkptEngine {
+    pub mechanism_name: String,
+    pub job: String,
+    pub storage: SharedStorage,
+    pub tracker: Tracker,
+    /// Force a full image every N checkpoints (0 = only the first is
+    /// full). Ignored for non-incremental trackers.
+    pub full_every: u64,
+    pub compress: bool,
+    pub save_file_contents: bool,
+    /// Delete images older than the latest full after taking a full.
+    pub prune: bool,
+    pub node: u32,
+    seq: u64,
+    last_full_seq: u64,
+    target_pid: Option<Pid>,
+}
+
+impl KernelCkptEngine {
+    pub fn new(
+        mechanism_name: &str,
+        job: &str,
+        storage: SharedStorage,
+        tracker: TrackerKind,
+    ) -> Self {
+        KernelCkptEngine {
+            mechanism_name: mechanism_name.to_string(),
+            job: job.to_string(),
+            storage,
+            tracker: Tracker::new(tracker),
+            full_every: 0,
+            compress: true,
+            save_file_contents: false,
+            prune: true,
+            node: 0,
+            seq: 0,
+            last_full_seq: 0,
+            target_pid: None,
+        }
+    }
+
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    pub fn target(&self) -> Option<Pid> {
+        self.target_pid
+    }
+
+    pub fn set_target(&mut self, pid: Pid) {
+        self.target_pid = Some(pid);
+    }
+
+    /// Perform one checkpoint of a quiescent `pid` in kernel context.
+    pub fn checkpoint_in_kernel(&mut self, k: &mut Kernel, pid: Pid) -> SimResult<CkptOutcome> {
+        self.target_pid = Some(pid);
+        let t0 = k.now();
+        let stats0 = k.stats.clone();
+        let next_seq = self.seq + 1;
+        // Decide image kind.
+        let incremental_ok = self.tracker.kind().supports_incremental()
+            && self.seq > 0
+            && self.tracker.is_armed()
+            && !(self.full_every > 0 && next_seq - self.last_full_seq >= self.full_every);
+        let (opts, logical_dirty) = if incremental_ok {
+            let collected = self.tracker.collect(k, pid)?;
+            let mut o = CaptureOptions::incremental(
+                &self.mechanism_name,
+                next_seq,
+                self.seq,
+                collected.pages.clone(),
+            );
+            o.compress = self.compress;
+            o.save_file_contents = self.save_file_contents;
+            o.node = self.node;
+            (o, collected.logical_dirty_bytes)
+        } else {
+            let mut o = CaptureOptions::full(&self.mechanism_name, next_seq);
+            o.compress = self.compress;
+            o.save_file_contents = self.save_file_contents;
+            o.node = self.node;
+            (o, 0)
+        };
+        let kind = opts.kind;
+        let img = capture_image(k, pid, &opts)?;
+        let pages_saved = img.page_count() as u64;
+        let memory_bytes = img.memory_bytes();
+        let logical = if kind == ImageKind::Full {
+            memory_bytes
+        } else {
+            logical_dirty
+        };
+        // Serialize (charged as a kernel copy) and store.
+        let encoded_len;
+        let storage_ns;
+        {
+            let mut storage = self.storage.lock();
+            let receipt = store_image(storage.as_mut(), &self.job, &img, &k.cost)
+                .map_err(|e| SimError::Usage(format!("store failed: {e}")))?;
+            encoded_len = receipt.bytes;
+            storage_ns = receipt.time_ns;
+        }
+        let t = k.cost.memcpy(encoded_len) + storage_ns;
+        k.charge(t);
+        self.seq = next_seq;
+        if kind == ImageKind::Full {
+            self.last_full_seq = next_seq;
+            if self.prune {
+                let mut storage = self.storage.lock();
+                let _ = prune_before(storage.as_mut(), &self.job, pid.0, next_seq);
+            }
+        }
+        // Begin the next tracking interval.
+        if self.tracker.kind().supports_incremental() {
+            self.tracker.arm(k, pid)?;
+        }
+        let total_ns = k.now() - t0;
+        Ok(CkptOutcome {
+            seq: next_seq,
+            incremental: kind == ImageKind::Incremental,
+            pages_saved,
+            memory_bytes,
+            logical_dirty_bytes: logical,
+            encoded_bytes: encoded_len,
+            total_ns,
+            app_stall_ns: total_ns, // callers running concurrently overwrite
+            storage_ns,
+            events: k.stats.delta_since(&stats0),
+        })
+    }
+
+    /// Restore the newest checkpoint of the engine's target from storage.
+    pub fn restart_from_storage(
+        &mut self,
+        k: &mut Kernel,
+        pid_sel: RestorePid,
+    ) -> SimResult<RestartOutcome> {
+        let target = self
+            .target_pid
+            .ok_or_else(|| SimError::Usage("engine has no target; checkpoint first".into()))?;
+        restart_from_shared(&self.storage, &self.job, target, k, pid_sel)
+    }
+}
+
+/// Restore the newest checkpoint of `target` (keyed under `job`) from a
+/// shared storage handle onto `k`. This is deliberately independent of any
+/// kernel modules or agents: a restart typically happens on a *different*
+/// node whose kernel never saw the original mechanism.
+pub fn restart_from_shared(
+    storage: &SharedStorage,
+    job: &str,
+    target: Pid,
+    k: &mut Kernel,
+    pid_sel: RestorePid,
+) -> SimResult<RestartOutcome> {
+    let t0 = k.now();
+    let (full, load_ns, images_loaded) = {
+        let storage = storage.lock();
+        let keys = storage
+            .list()
+            .iter()
+            .filter(|key| key.starts_with(&format!("{}/pid{}/", job, target.0)))
+            .count() as u64;
+        let (img, t) = load_latest_chain(&**storage, job, target.0, &k.cost)
+            .map_err(|e| SimError::Usage(format!("restart load failed: {e}")))?;
+        (img, t, keys)
+    };
+    k.charge(load_ns);
+    let pages = full.page_count() as u64;
+    let work = full.work_done;
+    let pid = restore_image(
+        k,
+        &full,
+        &RestoreOptions {
+            pid: pid_sel,
+            run: true,
+        },
+    )?;
+    Ok(RestartOutcome {
+        pid,
+        pages_restored: pages,
+        total_ns: k.now() - t0,
+        images_loaded,
+        work_done: work,
+    })
+}
+
+/// Charge one user→kernel→user crossing that is *initiated from user space
+/// by a tool* (kill(1), ioctl on a device, writing /proc): the cost every
+/// user-initiated mechanism pays to ask the kernel for a checkpoint.
+pub fn charge_tool_syscall(k: &mut Kernel) {
+    k.stats.syscalls += 1;
+    let t = k.cost.syscall_round_trip();
+    k.charge(t);
+}
+
+/// Drive the kernel until `done(k)` or `limit_ns` of virtual time passes.
+pub fn run_until(
+    k: &mut Kernel,
+    limit_ns: u64,
+    what: &str,
+    mut done: impl FnMut(&mut Kernel) -> bool,
+) -> SimResult<()> {
+    let deadline = k.now().saturating_add(limit_ns);
+    while !done(k) {
+        if k.now() >= deadline {
+            return Err(SimError::Timeout(what.to_string()));
+        }
+        let step = k.cost.tick_interval_ns.min(deadline - k.now()).max(1);
+        k.run_for(step)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shared_storage;
+    use ckpt_storage::LocalDisk;
+    use simos::apps::{AppParams, NativeKind};
+    use simos::cost::CostModel;
+
+    fn setup() -> (Kernel, Pid, KernelCkptEngine) {
+        let mut k = Kernel::new(CostModel::circa_2005());
+        let mut params = AppParams::small();
+        params.mem_bytes = 1024 * 1024;
+        params.total_steps = u64::MAX;
+        let pid = k.spawn_native(NativeKind::SparseRandom, params).unwrap();
+        k.run_for(10_000_000).unwrap();
+        let engine = KernelCkptEngine::new(
+            "test",
+            "job",
+            shared_storage(LocalDisk::new(1 << 30)),
+            TrackerKind::KernelPage,
+        );
+        (k, pid, engine)
+    }
+
+    /// Run a handful of app steps (fine-grained chunks so the dirtied set
+    /// stays small relative to the working set).
+    fn run_steps(k: &mut Kernel, pid: Pid, n: u64) {
+        let target = k.process(pid).unwrap().work_done + n;
+        while k.process(pid).unwrap().work_done < target {
+            k.run_for(1_000).unwrap();
+        }
+    }
+
+    #[test]
+    fn first_checkpoint_is_full_then_incremental() {
+        let (mut k, pid, mut e) = setup();
+        k.freeze_process(pid).unwrap();
+        let o1 = e.checkpoint_in_kernel(&mut k, pid).unwrap();
+        assert!(!o1.incremental);
+        assert_eq!(o1.seq, 1);
+        k.thaw_process(pid).unwrap();
+        run_steps(&mut k, pid, 5);
+        k.freeze_process(pid).unwrap();
+        let o2 = e.checkpoint_in_kernel(&mut k, pid).unwrap();
+        assert!(o2.incremental);
+        assert!(o2.pages_saved < o1.pages_saved);
+        assert!(o2.encoded_bytes < o1.encoded_bytes);
+    }
+
+    #[test]
+    fn full_every_forces_periodic_fulls() {
+        let (mut k, pid, mut e) = setup();
+        e.full_every = 2;
+        let mut kinds = Vec::new();
+        for _ in 0..5 {
+            k.freeze_process(pid).unwrap();
+            let o = e.checkpoint_in_kernel(&mut k, pid).unwrap();
+            kinds.push(o.incremental);
+            k.thaw_process(pid).unwrap();
+            k.run_for(10_000_000).unwrap();
+        }
+        assert_eq!(kinds, vec![false, true, false, true, false]);
+    }
+
+    #[test]
+    fn restart_resumes_from_incremental_chain() {
+        let (mut k, pid, mut e) = setup();
+        for _ in 0..3 {
+            k.freeze_process(pid).unwrap();
+            e.checkpoint_in_kernel(&mut k, pid).unwrap();
+            k.thaw_process(pid).unwrap();
+            k.run_for(20_000_000).unwrap();
+        }
+        let work_at_last_ckpt = {
+            // Take one more checkpoint so we know the exact saved state.
+            k.freeze_process(pid).unwrap();
+            e.checkpoint_in_kernel(&mut k, pid).unwrap();
+            let w = k.process(pid).unwrap().work_done;
+            k.thaw_process(pid).unwrap();
+            w
+        };
+        // Simulate a crash: kill the process, restart on a fresh kernel.
+        let mut k2 = Kernel::new(CostModel::circa_2005());
+        let r = e.restart_from_storage(&mut k2, RestorePid::Fresh).unwrap();
+        assert_eq!(r.work_done, work_at_last_ckpt);
+        assert!(r.images_loaded >= 1);
+        // The restored process keeps making progress.
+        k2.run_for(20_000_000).unwrap();
+        assert!(k2.process(r.pid).unwrap().work_done > work_at_last_ckpt);
+    }
+
+    #[test]
+    fn prune_keeps_storage_bounded() {
+        let (mut k, pid, mut e) = setup();
+        e.full_every = 1; // every checkpoint full → prior ones pruned
+        for _ in 0..4 {
+            k.freeze_process(pid).unwrap();
+            e.checkpoint_in_kernel(&mut k, pid).unwrap();
+            k.thaw_process(pid).unwrap();
+            k.run_for(5_000_000).unwrap();
+        }
+        assert_eq!(e.storage.lock().list().len(), 1);
+    }
+
+    #[test]
+    fn restart_without_checkpoint_errors() {
+        let (mut k2, _, e) = setup();
+        let mut fresh = KernelCkptEngine::new(
+            "t",
+            "job",
+            e.storage.clone(),
+            TrackerKind::FullOnly,
+        );
+        assert!(fresh
+            .restart_from_storage(&mut k2, RestorePid::Fresh)
+            .is_err());
+        drop(e);
+    }
+
+    #[test]
+    fn run_until_times_out() {
+        let mut k = Kernel::new(CostModel::circa_2005());
+        let r = run_until(&mut k, 1_000_000, "never", |_| false);
+        assert!(matches!(r, Err(SimError::Timeout(_))));
+    }
+}

@@ -1,0 +1,572 @@
+//! Binary serialization of [`CheckpointImage`] with trailing CRC-32.
+//!
+//! Layout (little-endian throughout):
+//!
+//! ```text
+//! magic:u64  version:u32  header  regs  brk:u64  work:u64  policy
+//! vmas  pages  fds  files  sig  timers  program  crc:u32
+//! ```
+//!
+//! Every variable-length field is length-prefixed. The CRC covers every
+//! byte before it; [`decode`] refuses images whose CRC or structure is
+//! invalid, so a corrupted checkpoint fails loudly at restart time instead
+//! of resurrecting a corrupted process.
+
+use crate::compress::PageEncoding;
+use crate::crc::crc32;
+use crate::format::*;
+
+/// Decoding errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    Truncated,
+    BadMagic(u64),
+    BadVersion(u32),
+    BadCrc { stored: u32, computed: u32 },
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "image truncated"),
+            DecodeError::BadMagic(m) => write!(f, "bad magic {m:#x}"),
+            DecodeError::BadVersion(v) => write!(f, "unsupported format version {v}"),
+            DecodeError::BadCrc { stored, computed } => {
+                write!(f, "CRC mismatch: stored {stored:#x}, computed {computed:#x}")
+            }
+            DecodeError::Malformed(what) => write!(f, "malformed image: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+// ---------------------------------------------------------------------
+// Writer helpers.
+// ---------------------------------------------------------------------
+
+fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_i32(out: &mut Vec<u8>, v: i32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    put_u64(out, b.len() as u64);
+    out.extend_from_slice(b);
+}
+
+// ---------------------------------------------------------------------
+// Reader helpers.
+// ---------------------------------------------------------------------
+
+struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.pos + n > self.buf.len() {
+            return Err(DecodeError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn i32(&mut self) -> Result<i32, DecodeError> {
+        Ok(i32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn string(&mut self) -> Result<String, DecodeError> {
+        let n = self.u32()? as usize;
+        if n > 1 << 24 {
+            return Err(DecodeError::Malformed("string too long"));
+        }
+        let b = self.take(n)?;
+        String::from_utf8(b.to_vec()).map_err(|_| DecodeError::Malformed("bad utf-8"))
+    }
+    fn bytes(&mut self) -> Result<Vec<u8>, DecodeError> {
+        let n = self.u64()? as usize;
+        if n > 1 << 32 {
+            return Err(DecodeError::Malformed("byte field too long"));
+        }
+        Ok(self.take(n)?.to_vec())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Encode.
+// ---------------------------------------------------------------------
+
+/// Serialize an image to bytes (with trailing CRC-32).
+pub fn encode(img: &CheckpointImage) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4096 + img.payload_bytes() as usize);
+    put_u64(&mut out, IMAGE_MAGIC);
+    put_u32(&mut out, FORMAT_VERSION);
+    // Header.
+    put_u32(&mut out, img.header.pid);
+    put_u64(&mut out, img.header.seq);
+    put_u64(&mut out, img.header.parent_seq);
+    put_u8(
+        &mut out,
+        match img.header.kind {
+            ImageKind::Full => 0,
+            ImageKind::Incremental => 1,
+        },
+    );
+    put_u64(&mut out, img.header.taken_at_ns);
+    put_str(&mut out, &img.header.mechanism);
+    put_u32(&mut out, img.header.node);
+    // Registers.
+    put_u64(&mut out, img.regs.pc);
+    for g in img.regs.gpr {
+        put_u64(&mut out, g);
+    }
+    put_u64(&mut out, img.brk);
+    put_u64(&mut out, img.work_done);
+    put_u8(&mut out, img.policy.tag);
+    put_i32(&mut out, img.policy.value);
+    // VMAs.
+    put_u32(&mut out, img.vmas.len() as u32);
+    for v in &img.vmas {
+        put_u64(&mut out, v.start);
+        put_u64(&mut out, v.end);
+        put_u8(&mut out, v.prot);
+        put_u8(&mut out, v.kind);
+        put_str(&mut out, &v.name);
+    }
+    // Pages.
+    put_u64(&mut out, img.pages.len() as u64);
+    for p in &img.pages {
+        put_u64(&mut out, p.page_no);
+        put_u8(&mut out, p.enc.tag());
+        put_bytes(&mut out, &p.payload);
+    }
+    // Fds.
+    put_u32(&mut out, img.fds.len() as u32);
+    for f in &img.fds {
+        put_u32(&mut out, f.fd);
+        put_str(&mut out, &f.path);
+        put_u64(&mut out, f.offset);
+        put_u8(&mut out, f.flags);
+        put_u32(&mut out, f.group);
+    }
+    // File contents.
+    put_u32(&mut out, img.files.len() as u32);
+    for f in &img.files {
+        put_str(&mut out, &f.path);
+        put_bytes(&mut out, &f.data);
+    }
+    // Signal state.
+    put_u32(&mut out, img.sig.actions.len() as u32);
+    for a in &img.sig.actions {
+        put_u32(&mut out, a.sig);
+        put_u8(&mut out, a.kind);
+        put_u64(&mut out, a.param);
+        put_u8(&mut out, a.non_reentrant as u8);
+    }
+    put_u32(&mut out, img.sig.pending.len() as u32);
+    for p in &img.sig.pending {
+        put_u32(&mut out, *p);
+    }
+    put_u64(&mut out, img.sig.mask);
+    put_u32(&mut out, img.sig.in_handler);
+    put_u32(&mut out, img.sig.non_reentrant_depth);
+    // Timers.
+    put_u32(&mut out, img.timers.len() as u32);
+    for t in &img.timers {
+        put_u64(&mut out, t.in_ns);
+        put_u64(&mut out, t.period_ns);
+        put_u32(&mut out, t.sig);
+    }
+    // Program.
+    match &img.program {
+        ProgramRecord::Vm { name, text } => {
+            put_u8(&mut out, 0);
+            put_str(&mut out, name);
+            put_u32(&mut out, text.len() as u32);
+            for w in text {
+                put_u32(&mut out, *w);
+            }
+        }
+        ProgramRecord::Native {
+            kind,
+            mem_bytes,
+            total_steps,
+            writes_per_step,
+            write_stride_pages,
+            seed,
+        } => {
+            put_u8(&mut out, 1);
+            put_u8(&mut out, *kind);
+            put_u64(&mut out, *mem_bytes);
+            put_u64(&mut out, *total_steps);
+            put_u64(&mut out, *writes_per_step);
+            put_u64(&mut out, *write_stride_pages);
+            put_u64(&mut out, *seed);
+        }
+    }
+    let crc = crc32(&out);
+    put_u32(&mut out, crc);
+    out
+}
+
+// ---------------------------------------------------------------------
+// Decode.
+// ---------------------------------------------------------------------
+
+/// Parse and validate an image from bytes.
+pub fn decode(buf: &[u8]) -> Result<CheckpointImage, DecodeError> {
+    if buf.len() < 16 {
+        return Err(DecodeError::Truncated);
+    }
+    let (body, crc_bytes) = buf.split_at(buf.len() - 4);
+    let stored = u32::from_le_bytes(crc_bytes.try_into().unwrap());
+    let computed = crc32(body);
+    if stored != computed {
+        return Err(DecodeError::BadCrc { stored, computed });
+    }
+    let mut d = Dec { buf: body, pos: 0 };
+    let magic = d.u64()?;
+    if magic != IMAGE_MAGIC {
+        return Err(DecodeError::BadMagic(magic));
+    }
+    let version = d.u32()?;
+    if version != FORMAT_VERSION {
+        return Err(DecodeError::BadVersion(version));
+    }
+    let header = ImageHeader {
+        pid: d.u32()?,
+        seq: d.u64()?,
+        parent_seq: d.u64()?,
+        kind: match d.u8()? {
+            0 => ImageKind::Full,
+            1 => ImageKind::Incremental,
+            _ => return Err(DecodeError::Malformed("bad image kind")),
+        },
+        taken_at_ns: d.u64()?,
+        mechanism: d.string()?,
+        node: d.u32()?,
+    };
+    let mut regs = RegsRecord {
+        pc: d.u64()?,
+        gpr: [0; 16],
+    };
+    for g in regs.gpr.iter_mut() {
+        *g = d.u64()?;
+    }
+    let brk = d.u64()?;
+    let work_done = d.u64()?;
+    let policy = PolicyRecord {
+        tag: d.u8()?,
+        value: d.i32()?,
+    };
+    let nvmas = d.u32()? as usize;
+    if nvmas > 1 << 20 {
+        return Err(DecodeError::Malformed("too many VMAs"));
+    }
+    let mut vmas = Vec::with_capacity(nvmas);
+    for _ in 0..nvmas {
+        vmas.push(VmaRecord {
+            start: d.u64()?,
+            end: d.u64()?,
+            prot: d.u8()?,
+            kind: d.u8()?,
+            name: d.string()?,
+        });
+    }
+    let npages = d.u64()? as usize;
+    if npages > 1 << 28 {
+        return Err(DecodeError::Malformed("too many pages"));
+    }
+    let mut pages = Vec::with_capacity(npages);
+    for _ in 0..npages {
+        let page_no = d.u64()?;
+        let enc = PageEncoding::from_tag(d.u8()?)
+            .ok_or(DecodeError::Malformed("bad page encoding"))?;
+        let payload = d.bytes()?;
+        pages.push(PageRecord {
+            page_no,
+            enc,
+            payload,
+        });
+    }
+    let nfds = d.u32()? as usize;
+    if nfds > 1 << 20 {
+        return Err(DecodeError::Malformed("too many fds"));
+    }
+    let mut fds = Vec::with_capacity(nfds);
+    for _ in 0..nfds {
+        fds.push(FdRecord {
+            fd: d.u32()?,
+            path: d.string()?,
+            offset: d.u64()?,
+            flags: d.u8()?,
+            group: d.u32()?,
+        });
+    }
+    let nfiles = d.u32()? as usize;
+    if nfiles > 1 << 20 {
+        return Err(DecodeError::Malformed("too many files"));
+    }
+    let mut files = Vec::with_capacity(nfiles);
+    for _ in 0..nfiles {
+        files.push(FileContentRecord {
+            path: d.string()?,
+            data: d.bytes()?,
+        });
+    }
+    let nacts = d.u32()? as usize;
+    if nacts > 4096 {
+        return Err(DecodeError::Malformed("too many sigactions"));
+    }
+    let mut actions = Vec::with_capacity(nacts);
+    for _ in 0..nacts {
+        actions.push(SigActionRecord {
+            sig: d.u32()?,
+            kind: d.u8()?,
+            param: d.u64()?,
+            non_reentrant: d.u8()? != 0,
+        });
+    }
+    let npend = d.u32()? as usize;
+    if npend > 4096 {
+        return Err(DecodeError::Malformed("too many pending signals"));
+    }
+    let mut pending = Vec::with_capacity(npend);
+    for _ in 0..npend {
+        pending.push(d.u32()?);
+    }
+    let sig = SigRecord {
+        actions,
+        pending,
+        mask: d.u64()?,
+        in_handler: d.u32()?,
+        non_reentrant_depth: d.u32()?,
+    };
+    let ntimers = d.u32()? as usize;
+    if ntimers > 4096 {
+        return Err(DecodeError::Malformed("too many timers"));
+    }
+    let mut timers = Vec::with_capacity(ntimers);
+    for _ in 0..ntimers {
+        timers.push(TimerRecord {
+            in_ns: d.u64()?,
+            period_ns: d.u64()?,
+            sig: d.u32()?,
+        });
+    }
+    let program = match d.u8()? {
+        0 => {
+            let name = d.string()?;
+            let n = d.u32()? as usize;
+            if n > 1 << 24 {
+                return Err(DecodeError::Malformed("text too long"));
+            }
+            let mut text = Vec::with_capacity(n);
+            for _ in 0..n {
+                text.push(d.u32()?);
+            }
+            ProgramRecord::Vm { name, text }
+        }
+        1 => ProgramRecord::Native {
+            kind: d.u8()?,
+            mem_bytes: d.u64()?,
+            total_steps: d.u64()?,
+            writes_per_step: d.u64()?,
+            write_stride_pages: d.u64()?,
+            seed: d.u64()?,
+        },
+        _ => return Err(DecodeError::Malformed("bad program tag")),
+    };
+    if d.pos != body.len() {
+        return Err(DecodeError::Malformed("trailing bytes"));
+    }
+    Ok(CheckpointImage {
+        header,
+        regs,
+        brk,
+        work_done,
+        policy,
+        vmas,
+        pages,
+        fds,
+        files,
+        sig,
+        timers,
+        program,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn sample_image() -> CheckpointImage {
+        CheckpointImage {
+            header: ImageHeader {
+                pid: 42,
+                seq: 3,
+                parent_seq: 2,
+                kind: ImageKind::Incremental,
+                taken_at_ns: 123_456_789,
+                mechanism: "crak".into(),
+                node: 7,
+            },
+            regs: RegsRecord {
+                pc: 0x400010,
+                gpr: [9; 16],
+            },
+            brk: 0x0800_2000,
+            work_done: 99,
+            policy: PolicyRecord { tag: 0, value: -3 },
+            vmas: vec![VmaRecord {
+                start: 0x40_0000,
+                end: 0x40_1000,
+                prot: 5,
+                kind: 0,
+                name: "[text]".into(),
+            }],
+            pages: vec![
+                PageRecord::capture(0x100, &vec![0u8; 4096]),
+                PageRecord::capture(0x101, &vec![7u8; 4096]),
+                PageRecord::capture(
+                    0x102,
+                    &(0..4096).map(|i| (i % 251) as u8).collect::<Vec<_>>(),
+                ),
+            ],
+            fds: vec![FdRecord {
+                fd: 3,
+                path: "/tmp/out".into(),
+                offset: 128,
+                flags: 3,
+                group: 1,
+            }],
+            files: vec![FileContentRecord {
+                path: "/tmp/out".into(),
+                data: b"contents".to_vec(),
+            }],
+            sig: SigRecord {
+                actions: vec![SigActionRecord {
+                    sig: 14,
+                    kind: 3,
+                    param: 0,
+                    non_reentrant: true,
+                }],
+                pending: vec![10],
+                mask: 0x400,
+                in_handler: 0,
+                non_reentrant_depth: 0,
+            },
+            timers: vec![TimerRecord {
+                in_ns: 5_000,
+                period_ns: 10_000,
+                sig: 14,
+            }],
+            program: ProgramRecord::Native {
+                kind: 1,
+                mem_bytes: 65536,
+                total_steps: 100,
+                writes_per_step: 8,
+                write_stride_pages: 4,
+                seed: 0x5eed,
+            },
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let img = sample_image();
+        let bytes = encode(&img);
+        let back = decode(&bytes).unwrap();
+        assert_eq!(back, img);
+    }
+
+    #[test]
+    fn vm_program_round_trips() {
+        let mut img = sample_image();
+        img.program = ProgramRecord::Vm {
+            name: "counter".into(),
+            text: vec![0xDEAD_BEEF, 1, 2, 3],
+        };
+        let back = decode(&encode(&img)).unwrap();
+        assert_eq!(back.program, img.program);
+    }
+
+    #[test]
+    fn any_single_bit_flip_is_detected() {
+        let bytes = encode(&sample_image());
+        // Sample bit positions across the buffer, including inside the CRC.
+        let positions = [0usize, 64, bytes.len() / 2, bytes.len() * 8 - 1];
+        for bit in positions {
+            let mut corrupted = bytes.clone();
+            corrupted[bit / 8] ^= 1 << (bit % 8);
+            assert!(
+                decode(&corrupted).is_err(),
+                "bit flip at {bit} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let bytes = encode(&sample_image());
+        for cut in [0, 10, bytes.len() - 5, bytes.len() - 1] {
+            assert!(decode(&bytes[..cut]).is_err(), "truncation at {cut} passed");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_detected() {
+        let mut bytes = encode(&sample_image());
+        bytes.extend_from_slice(&[0, 1, 2, 3]);
+        assert!(decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn bad_magic_reported() {
+        let img = sample_image();
+        let mut bytes = encode(&img);
+        // Rewrite magic and fix up CRC.
+        bytes[0] = 0;
+        let body_len = bytes.len() - 4;
+        let crc = crate::crc::crc32(&bytes[..body_len]);
+        bytes[body_len..].copy_from_slice(&crc.to_le_bytes());
+        match decode(&bytes) {
+            Err(DecodeError::BadMagic(_)) => {}
+            other => panic!("expected BadMagic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_sections_round_trip() {
+        let mut img = sample_image();
+        img.pages.clear();
+        img.fds.clear();
+        img.files.clear();
+        img.timers.clear();
+        img.sig = SigRecord::default();
+        let back = decode(&encode(&img)).unwrap();
+        assert_eq!(back, img);
+    }
+}

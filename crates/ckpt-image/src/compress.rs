@@ -1,0 +1,190 @@
+//! Page-payload compression: zero-page elision and byte-level RLE.
+//!
+//! Scientific-application address spaces are full of zero pages (untouched
+//! heap, zero-initialized arrays); eliding them is the cheapest data
+//! reduction a checkpointer can apply, orthogonal to incremental
+//! checkpointing. RLE catches the next-most-common pattern (constant
+//! fills) at negligible CPU cost — appropriate for the paper's era, where
+//! checkpoint compression had to compete with a 50 MB/s disk, not a
+//! 5 GB/s one.
+
+/// How a page payload is stored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageEncoding {
+    /// Raw bytes.
+    Raw,
+    /// Run-length encoded (pairs of `count, byte`, count ≥ 1, ≤ 255).
+    Rle,
+    /// All-zero page: no payload at all.
+    Zero,
+}
+
+impl PageEncoding {
+    pub fn tag(self) -> u8 {
+        match self {
+            PageEncoding::Raw => 0,
+            PageEncoding::Rle => 1,
+            PageEncoding::Zero => 2,
+        }
+    }
+
+    pub fn from_tag(t: u8) -> Option<Self> {
+        match t {
+            0 => Some(PageEncoding::Raw),
+            1 => Some(PageEncoding::Rle),
+            2 => Some(PageEncoding::Zero),
+            _ => None,
+        }
+    }
+}
+
+/// RLE-encode `data`. Returns `None` if the encoding would not be smaller.
+fn rle_encode(data: &[u8]) -> Option<Vec<u8>> {
+    let mut out = Vec::with_capacity(data.len() / 2);
+    let mut i = 0;
+    while i < data.len() {
+        let b = data[i];
+        let mut run = 1usize;
+        while i + run < data.len() && data[i + run] == b && run < 255 {
+            run += 1;
+        }
+        out.push(run as u8);
+        out.push(b);
+        if out.len() >= data.len() {
+            return None;
+        }
+        i += run;
+    }
+    Some(out)
+}
+
+/// RLE-decode into a buffer of known decoded size.
+fn rle_decode(encoded: &[u8], decoded_len: usize) -> Result<Vec<u8>, CompressError> {
+    if !encoded.len().is_multiple_of(2) {
+        return Err(CompressError::Malformed("odd RLE payload length"));
+    }
+    let mut out = Vec::with_capacity(decoded_len);
+    for pair in encoded.chunks_exact(2) {
+        let (run, b) = (pair[0] as usize, pair[1]);
+        if run == 0 {
+            return Err(CompressError::Malformed("zero-length RLE run"));
+        }
+        if out.len() + run > decoded_len {
+            return Err(CompressError::Malformed("RLE overflows decoded length"));
+        }
+        out.resize(out.len() + run, b);
+    }
+    if out.len() != decoded_len {
+        return Err(CompressError::Malformed("RLE underfills decoded length"));
+    }
+    Ok(out)
+}
+
+/// Errors from payload decoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompressError {
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for CompressError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompressError::Malformed(m) => write!(f, "malformed compressed payload: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CompressError {}
+
+/// Choose the best encoding for a page and produce its payload.
+pub fn encode_page(data: &[u8]) -> (PageEncoding, Vec<u8>) {
+    if data.iter().all(|&b| b == 0) {
+        return (PageEncoding::Zero, Vec::new());
+    }
+    match rle_encode(data) {
+        Some(rle) => (PageEncoding::Rle, rle),
+        None => (PageEncoding::Raw, data.to_vec()),
+    }
+}
+
+/// Decode a page payload back to `page_size` bytes.
+pub fn decode_page(
+    enc: PageEncoding,
+    payload: &[u8],
+    page_size: usize,
+) -> Result<Vec<u8>, CompressError> {
+    match enc {
+        PageEncoding::Zero => Ok(vec![0u8; page_size]),
+        PageEncoding::Raw => {
+            if payload.len() != page_size {
+                return Err(CompressError::Malformed("raw payload wrong length"));
+            }
+            Ok(payload.to_vec())
+        }
+        PageEncoding::Rle => rle_decode(payload, page_size),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PS: usize = 4096;
+
+    #[test]
+    fn zero_page_elided() {
+        let page = vec![0u8; PS];
+        let (enc, payload) = encode_page(&page);
+        assert_eq!(enc, PageEncoding::Zero);
+        assert!(payload.is_empty());
+        assert_eq!(decode_page(enc, &payload, PS).unwrap(), page);
+    }
+
+    #[test]
+    fn constant_fill_rle_compresses() {
+        let page = vec![0xABu8; PS];
+        let (enc, payload) = encode_page(&page);
+        assert_eq!(enc, PageEncoding::Rle);
+        assert!(payload.len() < PS / 100);
+        assert_eq!(decode_page(enc, &payload, PS).unwrap(), page);
+    }
+
+    #[test]
+    fn incompressible_falls_back_to_raw() {
+        let page: Vec<u8> = (0..PS).map(|i| (i * 131 + 7) as u8).collect();
+        let (enc, payload) = encode_page(&page);
+        assert_eq!(enc, PageEncoding::Raw);
+        assert_eq!(payload.len(), PS);
+        assert_eq!(decode_page(enc, &payload, PS).unwrap(), page);
+    }
+
+    #[test]
+    fn mixed_content_round_trips() {
+        let mut page = vec![0u8; PS];
+        page[0..100].fill(7);
+        page[2000..2100].copy_from_slice(&(0..100).map(|i| i as u8).collect::<Vec<_>>());
+        let (enc, payload) = encode_page(&page);
+        assert_eq!(decode_page(enc, &payload, PS).unwrap(), page);
+    }
+
+    #[test]
+    fn malformed_rle_rejected() {
+        assert!(rle_decode(&[1], PS).is_err()); // odd length
+        assert!(rle_decode(&[0, 5], PS).is_err()); // zero run
+        assert!(rle_decode(&[255, 1], 10).is_err()); // overflow
+        assert!(rle_decode(&[5, 1], PS).is_err()); // underfill
+    }
+
+    #[test]
+    fn raw_wrong_length_rejected() {
+        assert!(decode_page(PageEncoding::Raw, &[1, 2, 3], PS).is_err());
+    }
+
+    #[test]
+    fn long_runs_split_at_255() {
+        let page = vec![9u8; 1000];
+        let (enc, payload) = encode_page(&page);
+        assert_eq!(enc, PageEncoding::Rle);
+        assert_eq!(decode_page(enc, &payload, 1000).unwrap(), page);
+    }
+}

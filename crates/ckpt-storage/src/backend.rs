@@ -1,0 +1,145 @@
+//! The stable-storage abstraction and its failure semantics.
+//!
+//! Table 1's "stable storage" column distinguishes systems that save
+//! checkpoints `local`, `remote`, or not at all — and Section 4.1 makes the
+//! fault-tolerance consequence explicit: "most store the checkpoint locally
+//! instead of remotely, thus checkpoint data cannot be retrieved in case of
+//! a failure of the machine". The backends here carry exactly those
+//! semantics, driven by three failure events:
+//!
+//! * **node failure** (fail-stop): RAM contents are lost; local disk and
+//!   swap become *unavailable* (the machine is down) but not erased;
+//!   remote storage is unaffected;
+//! * **node repair**: local media become reachable again with data intact;
+//! * **power-down** (hibernation case): RAM is lost, disk and swap survive
+//!   — which is why Software Suspend writes the RAM image to the swap
+//!   partition.
+
+use simos::cost::CostModel;
+
+/// Which kind of medium a backend is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StorageClass {
+    /// RAM on the same node (Software Suspend's "standby" mode).
+    Ram,
+    /// The node's local disk (filesystem).
+    LocalDisk,
+    /// The node's swap partition (contiguous, no filesystem).
+    Swap,
+    /// A remote store reached over the interconnect.
+    Remote,
+}
+
+impl StorageClass {
+    /// Whether checkpoints on this medium can be retrieved after the owning
+    /// node fail-stops.
+    pub fn survives_node_loss(self) -> bool {
+        matches!(self, StorageClass::Remote)
+    }
+
+    /// Whether checkpoints survive a planned power-down of the node.
+    pub fn survives_power_down(self) -> bool {
+        matches!(
+            self,
+            StorageClass::LocalDisk | StorageClass::Swap | StorageClass::Remote
+        )
+    }
+}
+
+/// Storage errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// The medium is unreachable (node down, network partition).
+    Unavailable,
+    /// No object under this key.
+    NotFound(String),
+    /// Capacity exceeded.
+    NoSpace { need: u64, free: u64 },
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::Unavailable => write!(f, "storage unavailable"),
+            StorageError::NotFound(k) => write!(f, "no object {k}"),
+            StorageError::NoSpace { need, free } => {
+                write!(f, "no space: need {need} bytes, {free} free")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+/// Receipt for a completed store, carrying the modelled cost.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreReceipt {
+    pub key: String,
+    pub bytes: u64,
+    /// Virtual time the operation took (the caller charges it).
+    pub time_ns: u64,
+}
+
+/// A stable-storage backend.
+pub trait StableStorage: Send {
+    fn class(&self) -> StorageClass;
+
+    /// Human-readable label for reports.
+    fn label(&self) -> String;
+
+    /// Store an object. Returns the modelled time cost.
+    fn store(&mut self, key: &str, data: &[u8], cost: &CostModel)
+        -> Result<StoreReceipt, StorageError>;
+
+    /// Load an object; returns (data, modelled time).
+    fn load(&self, key: &str, cost: &CostModel) -> Result<(Vec<u8>, u64), StorageError>;
+
+    fn delete(&mut self, key: &str) -> Result<(), StorageError>;
+
+    /// Keys currently stored (sorted). Empty if unavailable.
+    fn list(&self) -> Vec<String>;
+
+    /// Whether the medium is currently reachable.
+    fn available(&self) -> bool;
+
+    /// Total bytes currently stored.
+    fn used_bytes(&self) -> u64;
+
+    /// Fail-stop of the owning node.
+    fn on_node_failure(&mut self);
+
+    /// The owning node came back.
+    fn on_node_repair(&mut self);
+
+    /// Planned power-down of the owning node.
+    fn on_power_down(&mut self);
+}
+
+/// Canonical object key for a checkpoint: `job/pid/seq`.
+pub fn image_key(job: &str, pid: u32, seq: u64) -> String {
+    format!("{job}/pid{pid}/seq{seq:08}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn survival_matrix_matches_paper() {
+        assert!(!StorageClass::LocalDisk.survives_node_loss());
+        assert!(!StorageClass::Ram.survives_node_loss());
+        assert!(!StorageClass::Swap.survives_node_loss());
+        assert!(StorageClass::Remote.survives_node_loss());
+
+        assert!(StorageClass::LocalDisk.survives_power_down());
+        assert!(StorageClass::Swap.survives_power_down());
+        assert!(!StorageClass::Ram.survives_power_down());
+    }
+
+    #[test]
+    fn image_keys_sort_by_sequence() {
+        let a = image_key("job", 1, 2);
+        let b = image_key("job", 1, 10);
+        assert!(a < b, "zero-padded sequence numbers must sort numerically");
+    }
+}

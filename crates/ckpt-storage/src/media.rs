@@ -1,0 +1,530 @@
+//! Concrete storage backends: RAM, local disk, swap partition, and a
+//! shared remote store.
+
+use crate::backend::{StableStorage, StorageClass, StorageError, StoreReceipt};
+use parking_lot::Mutex;
+use simos::cost::CostModel;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+fn store_into(
+    map: &mut BTreeMap<String, Vec<u8>>,
+    key: &str,
+    data: &[u8],
+    capacity: u64,
+    used: u64,
+) -> Result<(), StorageError> {
+    let replaced = map.get(key).map(|v| v.len() as u64).unwrap_or(0);
+    let need = data.len() as u64;
+    let free = capacity.saturating_sub(used - replaced);
+    if need > free {
+        return Err(StorageError::NoSpace { need, free });
+    }
+    map.insert(key.to_string(), data.to_vec());
+    Ok(())
+}
+
+fn used_of(map: &BTreeMap<String, Vec<u8>>) -> u64 {
+    map.values().map(|v| v.len() as u64).sum()
+}
+
+macro_rules! check_available {
+    ($self:ident) => {
+        if !$self.available {
+            return Err(StorageError::Unavailable);
+        }
+    };
+}
+
+/// RAM-backed store on the node itself. Fast, but lost on node failure
+/// *and* on power-down — the "standby" flavour of Software Suspend.
+#[derive(Debug)]
+pub struct RamStore {
+    objects: BTreeMap<String, Vec<u8>>,
+    capacity: u64,
+    available: bool,
+}
+
+impl RamStore {
+    pub fn new(capacity: u64) -> Self {
+        RamStore {
+            objects: BTreeMap::new(),
+            capacity,
+            available: true,
+        }
+    }
+}
+
+impl StableStorage for RamStore {
+    fn class(&self) -> StorageClass {
+        StorageClass::Ram
+    }
+    fn label(&self) -> String {
+        "ram".into()
+    }
+    fn store(
+        &mut self,
+        key: &str,
+        data: &[u8],
+        cost: &CostModel,
+    ) -> Result<StoreReceipt, StorageError> {
+        check_available!(self);
+        let used = used_of(&self.objects);
+        store_into(&mut self.objects, key, data, self.capacity, used)?;
+        Ok(StoreReceipt {
+            key: key.to_string(),
+            bytes: data.len() as u64,
+            time_ns: (data.len() as f64 * cost.ram_store_ns_per_byte).round() as u64,
+        })
+    }
+    fn load(&self, key: &str, cost: &CostModel) -> Result<(Vec<u8>, u64), StorageError> {
+        check_available!(self);
+        let data = self
+            .objects
+            .get(key)
+            .ok_or_else(|| StorageError::NotFound(key.into()))?
+            .clone();
+        let t = (data.len() as f64 * cost.ram_store_ns_per_byte).round() as u64;
+        Ok((data, t))
+    }
+    fn delete(&mut self, key: &str) -> Result<(), StorageError> {
+        check_available!(self);
+        self.objects
+            .remove(key)
+            .map(|_| ())
+            .ok_or_else(|| StorageError::NotFound(key.into()))
+    }
+    fn list(&self) -> Vec<String> {
+        if !self.available {
+            return vec![];
+        }
+        self.objects.keys().cloned().collect()
+    }
+    fn available(&self) -> bool {
+        self.available
+    }
+    fn used_bytes(&self) -> u64 {
+        used_of(&self.objects)
+    }
+    fn on_node_failure(&mut self) {
+        self.objects.clear();
+        self.available = false;
+    }
+    fn on_node_repair(&mut self) {
+        self.available = true; // but contents are gone
+    }
+    fn on_power_down(&mut self) {
+        self.objects.clear();
+    }
+}
+
+/// The node's local disk: seek latency + streaming bandwidth. Survives
+/// power-down; unreachable (but intact) while the node is failed.
+#[derive(Debug)]
+pub struct LocalDisk {
+    objects: BTreeMap<String, Vec<u8>>,
+    capacity: u64,
+    available: bool,
+}
+
+impl LocalDisk {
+    pub fn new(capacity: u64) -> Self {
+        LocalDisk {
+            objects: BTreeMap::new(),
+            capacity,
+            available: true,
+        }
+    }
+}
+
+impl StableStorage for LocalDisk {
+    fn class(&self) -> StorageClass {
+        StorageClass::LocalDisk
+    }
+    fn label(&self) -> String {
+        "local-disk".into()
+    }
+    fn store(
+        &mut self,
+        key: &str,
+        data: &[u8],
+        cost: &CostModel,
+    ) -> Result<StoreReceipt, StorageError> {
+        check_available!(self);
+        let used = used_of(&self.objects);
+        store_into(&mut self.objects, key, data, self.capacity, used)?;
+        Ok(StoreReceipt {
+            key: key.to_string(),
+            bytes: data.len() as u64,
+            time_ns: cost.disk_latency_ns
+                + (data.len() as f64 * cost.disk_ns_per_byte).round() as u64,
+        })
+    }
+    fn load(&self, key: &str, cost: &CostModel) -> Result<(Vec<u8>, u64), StorageError> {
+        check_available!(self);
+        let data = self
+            .objects
+            .get(key)
+            .ok_or_else(|| StorageError::NotFound(key.into()))?
+            .clone();
+        let t =
+            cost.disk_latency_ns + (data.len() as f64 * cost.disk_ns_per_byte).round() as u64;
+        Ok((data, t))
+    }
+    fn delete(&mut self, key: &str) -> Result<(), StorageError> {
+        check_available!(self);
+        self.objects
+            .remove(key)
+            .map(|_| ())
+            .ok_or_else(|| StorageError::NotFound(key.into()))
+    }
+    fn list(&self) -> Vec<String> {
+        if !self.available {
+            return vec![];
+        }
+        self.objects.keys().cloned().collect()
+    }
+    fn available(&self) -> bool {
+        self.available
+    }
+    fn used_bytes(&self) -> u64 {
+        used_of(&self.objects)
+    }
+    fn on_node_failure(&mut self) {
+        self.available = false; // data intact but unreachable
+    }
+    fn on_node_repair(&mut self) {
+        self.available = true;
+    }
+    fn on_power_down(&mut self) {}
+}
+
+/// The swap partition: contiguous, one seek regardless of size — where
+/// Software Suspend puts the RAM image.
+#[derive(Debug)]
+pub struct SwapStore {
+    objects: BTreeMap<String, Vec<u8>>,
+    capacity: u64,
+    available: bool,
+}
+
+impl SwapStore {
+    pub fn new(capacity: u64) -> Self {
+        SwapStore {
+            objects: BTreeMap::new(),
+            capacity,
+            available: true,
+        }
+    }
+}
+
+impl StableStorage for SwapStore {
+    fn class(&self) -> StorageClass {
+        StorageClass::Swap
+    }
+    fn label(&self) -> String {
+        "swap".into()
+    }
+    fn store(
+        &mut self,
+        key: &str,
+        data: &[u8],
+        cost: &CostModel,
+    ) -> Result<StoreReceipt, StorageError> {
+        check_available!(self);
+        let used = used_of(&self.objects);
+        store_into(&mut self.objects, key, data, self.capacity, used)?;
+        Ok(StoreReceipt {
+            key: key.to_string(),
+            bytes: data.len() as u64,
+            time_ns: cost.disk_latency_ns
+                + (data.len() as f64 * cost.swap_ns_per_byte).round() as u64,
+        })
+    }
+    fn load(&self, key: &str, cost: &CostModel) -> Result<(Vec<u8>, u64), StorageError> {
+        check_available!(self);
+        let data = self
+            .objects
+            .get(key)
+            .ok_or_else(|| StorageError::NotFound(key.into()))?
+            .clone();
+        let t =
+            cost.disk_latency_ns + (data.len() as f64 * cost.swap_ns_per_byte).round() as u64;
+        Ok((data, t))
+    }
+    fn delete(&mut self, key: &str) -> Result<(), StorageError> {
+        check_available!(self);
+        self.objects
+            .remove(key)
+            .map(|_| ())
+            .ok_or_else(|| StorageError::NotFound(key.into()))
+    }
+    fn list(&self) -> Vec<String> {
+        if !self.available {
+            return vec![];
+        }
+        self.objects.keys().cloned().collect()
+    }
+    fn available(&self) -> bool {
+        self.available
+    }
+    fn used_bytes(&self) -> u64 {
+        used_of(&self.objects)
+    }
+    fn on_node_failure(&mut self) {
+        self.available = false;
+    }
+    fn on_node_repair(&mut self) {
+        self.available = true;
+    }
+    fn on_power_down(&mut self) {}
+}
+
+/// The shared server behind any number of [`RemoteStore`] clients — e.g. a
+/// checkpoint server or parallel filesystem reachable from every node.
+#[derive(Debug, Default)]
+pub struct RemoteServer {
+    objects: Mutex<BTreeMap<String, Vec<u8>>>,
+    capacity: u64,
+}
+
+impl RemoteServer {
+    pub fn new(capacity: u64) -> Arc<Self> {
+        Arc::new(RemoteServer {
+            objects: Mutex::new(BTreeMap::new()),
+            capacity,
+        })
+    }
+
+    pub fn used_bytes(&self) -> u64 {
+        used_of(&self.objects.lock())
+    }
+
+    pub fn keys(&self) -> Vec<String> {
+        self.objects.lock().keys().cloned().collect()
+    }
+}
+
+/// A node's client handle to a [`RemoteServer`]. Transfers pay network
+/// latency + bandwidth; the data itself survives any single node's loss.
+/// Network reachability is per-client (a failed node cannot reach the
+/// server, but the server keeps its data).
+#[derive(Debug, Clone)]
+pub struct RemoteStore {
+    server: Arc<RemoteServer>,
+    available: bool,
+}
+
+impl RemoteStore {
+    pub fn new(server: Arc<RemoteServer>) -> Self {
+        RemoteStore {
+            server,
+            available: true,
+        }
+    }
+
+    pub fn server(&self) -> &Arc<RemoteServer> {
+        &self.server
+    }
+}
+
+impl StableStorage for RemoteStore {
+    fn class(&self) -> StorageClass {
+        StorageClass::Remote
+    }
+    fn label(&self) -> String {
+        "remote".into()
+    }
+    fn store(
+        &mut self,
+        key: &str,
+        data: &[u8],
+        cost: &CostModel,
+    ) -> Result<StoreReceipt, StorageError> {
+        check_available!(self);
+        {
+            let mut objects = self.server.objects.lock();
+            let used = used_of(&objects);
+            store_into(&mut objects, key, data, self.server.capacity, used)?;
+        }
+        Ok(StoreReceipt {
+            key: key.to_string(),
+            bytes: data.len() as u64,
+            time_ns: cost.net_latency_ns
+                + (data.len() as f64 * cost.net_ns_per_byte).round() as u64,
+        })
+    }
+    fn load(&self, key: &str, cost: &CostModel) -> Result<(Vec<u8>, u64), StorageError> {
+        check_available!(self);
+        let data = self
+            .server
+            .objects
+            .lock()
+            .get(key)
+            .cloned()
+            .ok_or_else(|| StorageError::NotFound(key.into()))?;
+        let t =
+            cost.net_latency_ns + (data.len() as f64 * cost.net_ns_per_byte).round() as u64;
+        Ok((data, t))
+    }
+    fn delete(&mut self, key: &str) -> Result<(), StorageError> {
+        check_available!(self);
+        self.server
+            .objects
+            .lock()
+            .remove(key)
+            .map(|_| ())
+            .ok_or_else(|| StorageError::NotFound(key.into()))
+    }
+    fn list(&self) -> Vec<String> {
+        if !self.available {
+            return vec![];
+        }
+        self.server.keys()
+    }
+    fn available(&self) -> bool {
+        self.available
+    }
+    fn used_bytes(&self) -> u64 {
+        self.server.used_bytes()
+    }
+    fn on_node_failure(&mut self) {
+        // This *client* loses connectivity; the server's data is safe.
+        self.available = false;
+    }
+    fn on_node_repair(&mut self) {
+        self.available = true;
+    }
+    fn on_power_down(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cost() -> CostModel {
+        CostModel::circa_2005()
+    }
+
+    fn all_media() -> Vec<Box<dyn StableStorage>> {
+        let server = RemoteServer::new(1 << 30);
+        vec![
+            Box::new(RamStore::new(1 << 30)),
+            Box::new(LocalDisk::new(1 << 30)),
+            Box::new(SwapStore::new(1 << 30)),
+            Box::new(RemoteStore::new(server)),
+        ]
+    }
+
+    #[test]
+    fn store_load_round_trip_all_media() {
+        for mut m in all_media() {
+            let r = m.store("k", b"hello", &cost()).unwrap();
+            assert_eq!(r.bytes, 5);
+            let (data, t) = m.load("k", &cost()).unwrap();
+            assert_eq!(data, b"hello");
+            assert!(t > 0 || m.class() == StorageClass::Ram);
+            assert_eq!(m.list(), vec!["k".to_string()]);
+            m.delete("k").unwrap();
+            assert!(matches!(
+                m.load("k", &cost()),
+                Err(StorageError::NotFound(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn disk_pays_seek_latency_remote_pays_net_latency() {
+        let c = cost();
+        let mut disk = LocalDisk::new(1 << 30);
+        let r = disk.store("k", &[0u8; 1024], &c).unwrap();
+        assert!(r.time_ns >= c.disk_latency_ns);
+        let mut remote = RemoteStore::new(RemoteServer::new(1 << 30));
+        let r = remote.store("k", &[0u8; 1024], &c).unwrap();
+        assert!(r.time_ns >= c.net_latency_ns);
+        assert!(r.time_ns < c.disk_latency_ns, "2005 network beats a disk seek");
+    }
+
+    #[test]
+    fn large_transfer_remote_beats_local_disk_in_2005() {
+        // The feasibility point of [31]: with a 250 MB/s interconnect and a
+        // 50 MB/s disk, remote checkpointing is faster than local.
+        let c = cost();
+        let data = vec![1u8; 16 << 20];
+        let mut disk = LocalDisk::new(1 << 30);
+        let mut remote = RemoteStore::new(RemoteServer::new(1 << 30));
+        let td = disk.store("k", &data, &c).unwrap().time_ns;
+        let tr = remote.store("k", &data, &c).unwrap().time_ns;
+        assert!(tr < td);
+    }
+
+    #[test]
+    fn node_failure_semantics() {
+        let server = RemoteServer::new(1 << 30);
+        let mut ram = RamStore::new(1 << 30);
+        let mut disk = LocalDisk::new(1 << 30);
+        let mut remote = RemoteStore::new(server.clone());
+        let c = cost();
+        ram.store("k", b"x", &c).unwrap();
+        disk.store("k", b"x", &c).unwrap();
+        remote.store("k", b"x", &c).unwrap();
+
+        ram.on_node_failure();
+        disk.on_node_failure();
+        remote.on_node_failure();
+
+        // Everything unreachable while the node is down.
+        assert!(matches!(ram.load("k", &c), Err(StorageError::Unavailable)));
+        assert!(matches!(disk.load("k", &c), Err(StorageError::Unavailable)));
+        assert!(matches!(
+            remote.load("k", &c),
+            Err(StorageError::Unavailable)
+        ));
+        // But the remote server still has the object — another node's
+        // client can fetch it (the whole point of remote checkpointing).
+        let other = RemoteStore::new(server);
+        assert_eq!(other.load("k", &c).unwrap().0, b"x");
+
+        ram.on_node_repair();
+        disk.on_node_repair();
+        // RAM contents were lost; disk contents survive the outage.
+        assert!(matches!(ram.load("k", &c), Err(StorageError::NotFound(_))));
+        assert_eq!(disk.load("k", &c).unwrap().0, b"x");
+    }
+
+    #[test]
+    fn power_down_semantics() {
+        let c = cost();
+        let mut ram = RamStore::new(1 << 30);
+        let mut swap = SwapStore::new(1 << 30);
+        ram.store("k", b"x", &c).unwrap();
+        swap.store("k", b"x", &c).unwrap();
+        ram.on_power_down();
+        swap.on_power_down();
+        assert!(matches!(ram.load("k", &c), Err(StorageError::NotFound(_))));
+        assert_eq!(swap.load("k", &c).unwrap().0, b"x", "hibernation image survives");
+    }
+
+    #[test]
+    fn capacity_enforced_and_replacement_accounted() {
+        let c = cost();
+        let mut disk = LocalDisk::new(10);
+        disk.store("a", &[1u8; 6], &c).unwrap();
+        assert!(matches!(
+            disk.store("b", &[1u8; 6], &c),
+            Err(StorageError::NoSpace { .. })
+        ));
+        // Replacing an object reuses its space.
+        disk.store("a", &[2u8; 8], &c).unwrap();
+        assert_eq!(disk.used_bytes(), 8);
+    }
+
+    #[test]
+    fn remote_clients_share_one_server() {
+        let server = RemoteServer::new(1 << 30);
+        let mut a = RemoteStore::new(server.clone());
+        let b = RemoteStore::new(server);
+        a.store("k", b"shared", &cost()).unwrap();
+        assert_eq!(b.load("k", &cost()).unwrap().0, b"shared");
+    }
+}

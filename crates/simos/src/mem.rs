@@ -1,0 +1,831 @@
+//! Guest virtual memory: pages, VMAs, protection, and write tracking.
+//!
+//! Memory is sparse: only touched pages are materialized. Every access goes
+//! through protection checks, which is what makes the incremental
+//! checkpointing techniques of the paper implementable — write-protecting
+//! the address space and catching the first write to each page is exactly
+//! the `mprotect`/`SIGSEGV` (user-level) or page-fault-handler
+//! (system-level) scheme of Sections 3 and 4.1.
+//!
+//! The module also supports cache-line-granularity write logging for the
+//! hardware-assisted model of Section 4.2 (ReVive/SafetyNet).
+//!
+//! Internal fallible operations use `Result<_, ()>`: the kernel maps every
+//! failure to a single guest-visible errno, so a richer error type here
+//! would add no information.
+#![allow(clippy::result_unit_err)]
+
+pub use crate::cost::{CACHE_LINE, PAGE_SIZE};
+use crate::types::FaultKind;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Page protection bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Prot(pub u8);
+
+impl Prot {
+    pub const NONE: Prot = Prot(0);
+    pub const R: Prot = Prot(1);
+    pub const W: Prot = Prot(2);
+    pub const X: Prot = Prot(4);
+    pub const RW: Prot = Prot(1 | 2);
+    pub const RX: Prot = Prot(1 | 4);
+    pub const RWX: Prot = Prot(1 | 2 | 4);
+
+    pub fn readable(self) -> bool {
+        self.0 & 1 != 0
+    }
+    pub fn writable(self) -> bool {
+        self.0 & 2 != 0
+    }
+    pub fn executable(self) -> bool {
+        self.0 & 4 != 0
+    }
+    pub fn union(self, other: Prot) -> Prot {
+        Prot(self.0 | other.0)
+    }
+    pub fn without_write(self) -> Prot {
+        Prot(self.0 & !2)
+    }
+}
+
+impl std::fmt::Display for Prot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}{}{}",
+            if self.readable() { 'r' } else { '-' },
+            if self.writable() { 'w' } else { '-' },
+            if self.executable() { 'x' } else { '-' }
+        )
+    }
+}
+
+/// What kind of region a VMA is — mirrors `/proc/<pid>/maps` classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VmaKind {
+    Text,
+    Data,
+    Heap,
+    Stack,
+    Mmap,
+    SharedLib,
+}
+
+/// A virtual memory area: a contiguous range of pages with common
+/// protections, as tracked by the kernel (and dumped by VMADump-style
+/// checkpointers).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Vma {
+    pub start: u64,
+    pub end: u64, // exclusive, page-aligned
+    pub prot: Prot,
+    pub kind: VmaKind,
+    pub name: String,
+}
+
+impl Vma {
+    pub fn len(&self) -> u64 {
+        self.end - self.start
+    }
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+    pub fn contains(&self, addr: u64) -> bool {
+        addr >= self.start && addr < self.end
+    }
+    pub fn pages(&self) -> impl Iterator<Item = u64> {
+        (self.start / PAGE_SIZE)..(self.end / PAGE_SIZE)
+    }
+}
+
+/// A materialized page.
+#[derive(Clone)]
+pub struct Page {
+    pub data: Box<[u8]>,
+    /// Effective protection (may be stricter than the owning VMA's
+    /// protection while write-tracking is armed).
+    pub prot: Prot,
+}
+
+impl Page {
+    fn zeroed(prot: Prot) -> Self {
+        Page {
+            data: vec![0u8; PAGE_SIZE as usize].into_boxed_slice(),
+            prot,
+        }
+    }
+}
+
+impl std::fmt::Debug for Page {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Page(prot={})", self.prot)
+    }
+}
+
+/// How writes are being tracked, if at all. Configured by the
+/// checkpoint/restart machinery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrackMode {
+    /// No tracking.
+    Off,
+    /// System-level: the kernel page-fault handler records the dirty page
+    /// and re-enables write access (Section 4.1).
+    KernelPage,
+    /// User-level: the fault is turned into a `SIGSEGV` delivered to a user
+    /// handler which records the page and calls `mprotect` (Section 3).
+    UserSigsegv,
+    /// Hardware: every write is logged at cache-line granularity with no
+    /// software cost (Section 4.2).
+    HardwareLine,
+}
+
+/// Outcome of a raw access attempt, before the kernel's fault policy runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessOutcome {
+    Ok,
+    Fault { addr: u64, kind: FaultKind },
+}
+
+/// Statistics the memory subsystem keeps for the embedder.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MemStats {
+    pub pages_materialized: u64,
+    pub write_faults_tracked: u64,
+    pub protection_faults: u64,
+    pub bytes_written: u64,
+    pub bytes_read: u64,
+}
+
+/// A guest address space.
+#[derive(Debug, Clone)]
+pub struct AddressSpace {
+    pages: BTreeMap<u64, Page>, // page number -> page
+    vmas: Vec<Vma>,
+    brk: u64,
+    heap_base: u64,
+    mmap_cursor: u64,
+    pub track: TrackMode,
+    /// Pages dirtied since tracking was last armed (kernel- or user-level;
+    /// the user-level set models the user-space bitmap the SIGSEGV handler
+    /// maintains, kept here for uniform inspection).
+    pub dirty_pages: BTreeSet<u64>,
+    /// Cache lines dirtied since tracking was armed (hardware mode).
+    pub dirty_lines: BTreeSet<u64>,
+    pub stats: MemStats,
+}
+
+pub const TEXT_BASE: u64 = 0x0000_0000_0040_0000;
+pub const DATA_BASE: u64 = 0x0000_0000_0100_0000;
+pub const HEAP_BASE: u64 = 0x0000_0000_0800_0000;
+pub const MMAP_BASE: u64 = 0x0000_0000_4000_0000;
+pub const STACK_TOP: u64 = 0x0000_0000_8000_0000;
+pub const STACK_PAGES: u64 = 64;
+
+impl AddressSpace {
+    /// Create an address space with the canonical text/data/heap/stack
+    /// layout.
+    pub fn new(text_bytes: u64, data_bytes: u64) -> Self {
+        let mut a = AddressSpace {
+            pages: BTreeMap::new(),
+            vmas: Vec::new(),
+            brk: HEAP_BASE,
+            heap_base: HEAP_BASE,
+            mmap_cursor: MMAP_BASE,
+            track: TrackMode::Off,
+            dirty_pages: BTreeSet::new(),
+            dirty_lines: BTreeSet::new(),
+            stats: MemStats::default(),
+        };
+        let text_end = TEXT_BASE + round_up(text_bytes.max(1), PAGE_SIZE);
+        a.vmas.push(Vma {
+            start: TEXT_BASE,
+            end: text_end,
+            prot: Prot::RX,
+            kind: VmaKind::Text,
+            name: "[text]".into(),
+        });
+        let data_end = DATA_BASE + round_up(data_bytes.max(1), PAGE_SIZE);
+        a.vmas.push(Vma {
+            start: DATA_BASE,
+            end: data_end,
+            prot: Prot::RW,
+            kind: VmaKind::Data,
+            name: "[data]".into(),
+        });
+        a.vmas.push(Vma {
+            start: HEAP_BASE,
+            end: HEAP_BASE,
+            prot: Prot::RW,
+            kind: VmaKind::Heap,
+            name: "[heap]".into(),
+        });
+        a.vmas.push(Vma {
+            start: STACK_TOP - STACK_PAGES * PAGE_SIZE,
+            end: STACK_TOP,
+            prot: Prot::RW,
+            kind: VmaKind::Stack,
+            name: "[stack]".into(),
+        });
+        a
+    }
+
+    /// The VMAs, in address order.
+    pub fn vmas(&self) -> &[Vma] {
+        &self.vmas
+    }
+
+    /// Current program break (heap end).
+    pub fn brk(&self) -> u64 {
+        self.brk
+    }
+
+    /// Grow/shrink the heap; returns the new break. Mirrors `sbrk`.
+    pub fn sbrk(&mut self, delta: i64) -> Result<u64, ()> {
+        let new = if delta >= 0 {
+            self.brk.checked_add(delta as u64).ok_or(())?
+        } else {
+            self.brk.checked_sub((-delta) as u64).ok_or(())?
+        };
+        self.set_brk(new)
+    }
+
+    /// Set the program break. Mirrors `brk`.
+    pub fn set_brk(&mut self, new: u64) -> Result<u64, ()> {
+        if new < self.heap_base || new > MMAP_BASE {
+            return Err(());
+        }
+        let new_end = round_up(new, PAGE_SIZE);
+        let heap = self
+            .vmas
+            .iter_mut()
+            .find(|v| v.kind == VmaKind::Heap)
+            .expect("heap vma");
+        let old_end = heap.end;
+        heap.end = new_end.max(heap.start);
+        self.brk = new;
+        // Release pages beyond a shrunken heap.
+        if new_end < old_end {
+            let first_gone = new_end / PAGE_SIZE;
+            let last = old_end / PAGE_SIZE;
+            for pn in first_gone..last {
+                self.pages.remove(&pn);
+                self.dirty_pages.remove(&pn);
+            }
+        }
+        Ok(self.brk)
+    }
+
+    /// Map a fresh anonymous region (mirrors `mmap(MAP_ANONYMOUS)`).
+    pub fn mmap(&mut self, len: u64, prot: Prot, name: &str) -> Result<u64, ()> {
+        if len == 0 {
+            return Err(());
+        }
+        let len = round_up(len, PAGE_SIZE);
+        let start = self.mmap_cursor;
+        let end = start.checked_add(len).ok_or(())?;
+        if end > STACK_TOP - STACK_PAGES * PAGE_SIZE {
+            return Err(());
+        }
+        self.mmap_cursor = end;
+        self.vmas.push(Vma {
+            start,
+            end,
+            prot,
+            kind: VmaKind::Mmap,
+            name: name.to_string(),
+        });
+        self.vmas.sort_by_key(|v| v.start);
+        Ok(start)
+    }
+
+    /// Insert a VMA at an explicit address — used only when *restoring* a
+    /// checkpoint image, where regions must reappear exactly where they
+    /// were. Keeps the mmap cursor beyond the restored region.
+    pub fn push_vma_raw(&mut self, vma: Vma) {
+        if vma.kind == VmaKind::Mmap {
+            self.mmap_cursor = self.mmap_cursor.max(vma.end);
+        }
+        if vma.kind == VmaKind::Heap {
+            self.brk = self.brk.max(vma.end);
+        }
+        self.vmas.retain(|v| !(v.start == vma.start && v.kind == vma.kind));
+        self.vmas.push(vma);
+        self.vmas.sort_by_key(|v| v.start);
+    }
+
+    /// Force the program break to an exact restored value.
+    pub fn restore_brk(&mut self, brk: u64) {
+        self.brk = brk;
+        let new_end = round_up(brk, PAGE_SIZE);
+        if let Some(heap) = self.vmas.iter_mut().find(|v| v.kind == VmaKind::Heap) {
+            heap.end = new_end.max(heap.start);
+        }
+    }
+
+    /// Unmap a previously mmapped region. Only whole-VMA unmaps are
+    /// supported (sufficient for the guests we run).
+    pub fn munmap(&mut self, addr: u64) -> Result<(), ()> {
+        let idx = self
+            .vmas
+            .iter()
+            .position(|v| v.start == addr && v.kind == VmaKind::Mmap)
+            .ok_or(())?;
+        let vma = self.vmas.remove(idx);
+        for pn in vma.pages() {
+            self.pages.remove(&pn);
+            self.dirty_pages.remove(&pn);
+        }
+        Ok(())
+    }
+
+    /// Change protection on `[addr, addr+len)`. Affects both the VMA's
+    /// nominal protection and any materialized pages. Returns the number of
+    /// pages affected (for cost accounting).
+    pub fn mprotect(&mut self, addr: u64, len: u64, prot: Prot) -> Result<u64, ()> {
+        if !addr.is_multiple_of(PAGE_SIZE) || len == 0 {
+            return Err(());
+        }
+        let end = round_up(addr + len, PAGE_SIZE);
+        // Must lie within mapped VMAs.
+        if !self.range_mapped(addr, end) {
+            return Err(());
+        }
+        let mut count = 0;
+        for pn in (addr / PAGE_SIZE)..(end / PAGE_SIZE) {
+            if let Some(p) = self.pages.get_mut(&pn) {
+                p.prot = prot;
+            }
+            count += 1;
+        }
+        // Note: we deliberately do not split VMAs; nominal VMA protection is
+        // left untouched and effective protection lives on the pages. The
+        // checkpointers that arm tracking always operate page-wise.
+        Ok(count)
+    }
+
+    fn range_mapped(&self, start: u64, end: u64) -> bool {
+        let mut cursor = start;
+        while cursor < end {
+            match self.vma_of(cursor) {
+                Some(v) => cursor = v.end,
+                None => return false,
+            }
+        }
+        true
+    }
+
+    /// The VMA covering `addr`, if any.
+    pub fn vma_of(&self, addr: u64) -> Option<&Vma> {
+        self.vmas.iter().find(|v| v.contains(addr))
+    }
+
+    fn effective_prot(&self, pn: u64) -> Option<Prot> {
+        if let Some(p) = self.pages.get(&pn) {
+            return Some(p.prot);
+        }
+        self.vma_of(pn * PAGE_SIZE).map(|v| v.prot)
+    }
+
+    /// Check whether a write of `len` bytes at `addr` would succeed, without
+    /// performing it.
+    pub fn check_write(&self, addr: u64, len: u64) -> AccessOutcome {
+        self.check(addr, len, true)
+    }
+
+    /// Check whether a read of `len` bytes at `addr` would succeed.
+    pub fn check_read(&self, addr: u64, len: u64) -> AccessOutcome {
+        self.check(addr, len, false)
+    }
+
+    fn check(&self, addr: u64, len: u64, write: bool) -> AccessOutcome {
+        if len == 0 {
+            return AccessOutcome::Ok;
+        }
+        let first = addr / PAGE_SIZE;
+        let last = (addr + len - 1) / PAGE_SIZE;
+        for pn in first..=last {
+            match self.effective_prot(pn) {
+                None => {
+                    return AccessOutcome::Fault {
+                        addr: pn * PAGE_SIZE,
+                        kind: FaultKind::NotMapped,
+                    }
+                }
+                Some(p) => {
+                    if write && !p.writable() {
+                        return AccessOutcome::Fault {
+                            addr: pn * PAGE_SIZE,
+                            kind: FaultKind::WriteProtected,
+                        };
+                    }
+                    if !write && !p.readable() {
+                        return AccessOutcome::Fault {
+                            addr: pn * PAGE_SIZE,
+                            kind: FaultKind::ReadProtected,
+                        };
+                    }
+                }
+            }
+        }
+        AccessOutcome::Ok
+    }
+
+    fn materialize(&mut self, pn: u64) -> &mut Page {
+        if !self.pages.contains_key(&pn) {
+            let prot = self
+                .vma_of(pn * PAGE_SIZE)
+                .map(|v| v.prot)
+                .unwrap_or(Prot::NONE);
+            self.pages.insert(pn, Page::zeroed(prot));
+            self.stats.pages_materialized += 1;
+        }
+        self.pages.get_mut(&pn).expect("just inserted")
+    }
+
+    /// Write bytes, assuming protection has already been checked/handled by
+    /// the kernel. Records dirty info according to the current track mode.
+    pub fn write_unchecked(&mut self, addr: u64, bytes: &[u8]) {
+        self.stats.bytes_written += bytes.len() as u64;
+        if self.track == TrackMode::HardwareLine {
+            let first = addr / CACHE_LINE;
+            let last = (addr + bytes.len().max(1) as u64 - 1) / CACHE_LINE;
+            for line in first..=last {
+                self.dirty_lines.insert(line);
+            }
+        }
+        let mut off = 0usize;
+        let mut cur = addr;
+        while off < bytes.len() {
+            let pn = cur / PAGE_SIZE;
+            let in_page = (cur % PAGE_SIZE) as usize;
+            let n = ((PAGE_SIZE as usize) - in_page).min(bytes.len() - off);
+            let page = self.materialize(pn);
+            page.data[in_page..in_page + n].copy_from_slice(&bytes[off..off + n]);
+            off += n;
+            cur += n as u64;
+        }
+    }
+
+    /// Read bytes, assuming protection has been checked.
+    pub fn read_unchecked(&mut self, addr: u64, out: &mut [u8]) {
+        self.stats.bytes_read += out.len() as u64;
+        let mut off = 0usize;
+        let mut cur = addr;
+        while off < out.len() {
+            let pn = cur / PAGE_SIZE;
+            let in_page = (cur % PAGE_SIZE) as usize;
+            let n = ((PAGE_SIZE as usize) - in_page).min(out.len() - off);
+            match self.pages.get(&pn) {
+                Some(p) => out[off..off + n].copy_from_slice(&p.data[in_page..in_page + n]),
+                None => out[off..off + n].fill(0),
+            }
+            off += n;
+            cur += n as u64;
+        }
+    }
+
+    /// Read without touching stats — used by checkpointers walking memory
+    /// from kernel context (they charge copy costs separately).
+    pub fn peek(&self, addr: u64, out: &mut [u8]) {
+        let mut off = 0usize;
+        let mut cur = addr;
+        while off < out.len() {
+            let pn = cur / PAGE_SIZE;
+            let in_page = (cur % PAGE_SIZE) as usize;
+            let n = ((PAGE_SIZE as usize) - in_page).min(out.len() - off);
+            match self.pages.get(&pn) {
+                Some(p) => out[off..off + n].copy_from_slice(&p.data[in_page..in_page + n]),
+                None => out[off..off + n].fill(0),
+            }
+            off += n;
+            cur += n as u64;
+        }
+    }
+
+    /// Write without protection interaction — used when *restoring* a
+    /// checkpoint image into a fresh address space.
+    pub fn poke(&mut self, addr: u64, bytes: &[u8]) {
+        let mut off = 0usize;
+        let mut cur = addr;
+        while off < bytes.len() {
+            let pn = cur / PAGE_SIZE;
+            let in_page = (cur % PAGE_SIZE) as usize;
+            let n = ((PAGE_SIZE as usize) - in_page).min(bytes.len() - off);
+            let page = self.materialize(pn);
+            page.data[in_page..in_page + n].copy_from_slice(&bytes[off..off + n]);
+            off += n;
+            cur += n as u64;
+        }
+    }
+
+    /// Page numbers of all materialized (resident) pages, in order.
+    pub fn resident_pages(&self) -> impl Iterator<Item = u64> + '_ {
+        self.pages.keys().copied()
+    }
+
+    /// Number of resident pages.
+    pub fn resident_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Raw page contents (for checkpointers). `None` if not materialized.
+    pub fn page_data(&self, pn: u64) -> Option<&[u8]> {
+        self.pages.get(&pn).map(|p| &*p.data)
+    }
+
+    /// Effective protection of a materialized page.
+    pub fn page_prot(&self, pn: u64) -> Option<Prot> {
+        self.pages.get(&pn).map(|p| p.prot)
+    }
+
+    /// Arm write tracking: write-protect every resident writable page (for
+    /// the page-granularity modes) or clear the line log (hardware mode).
+    /// Returns the number of pages protected (for mprotect cost accounting).
+    pub fn arm_tracking(&mut self, mode: TrackMode) -> u64 {
+        self.track = mode;
+        self.dirty_pages.clear();
+        self.dirty_lines.clear();
+        match mode {
+            TrackMode::Off | TrackMode::HardwareLine => 0,
+            TrackMode::KernelPage | TrackMode::UserSigsegv => {
+                let mut n = 0;
+                for (_, page) in self.pages.iter_mut() {
+                    if page.prot.writable() {
+                        page.prot = page.prot.without_write();
+                        n += 1;
+                    }
+                }
+                n
+            }
+        }
+    }
+
+    /// Handle a tracked write fault on `pn`: record it dirty and restore
+    /// write permission. Returns `true` if this was indeed a tracked page.
+    pub fn resolve_tracked_fault(&mut self, pn: u64) -> bool {
+        let nominal_writable = self
+            .vma_of(pn * PAGE_SIZE)
+            .map(|v| v.prot.writable())
+            .unwrap_or(false);
+        if !nominal_writable {
+            return false;
+        }
+        let page = self.materialize(pn);
+        if page.prot.writable() {
+            // Already writable: not a tracking fault.
+            return false;
+        }
+        page.prot = page.prot.union(Prot::W);
+        self.dirty_pages.insert(pn);
+        self.stats.write_faults_tracked += 1;
+        true
+    }
+
+    /// A fresh-page write to an unmaterialized tracked page also counts as a
+    /// dirtying event (zero pages are materialized on demand).
+    pub fn note_fresh_dirty(&mut self, pn: u64) {
+        if matches!(self.track, TrackMode::KernelPage | TrackMode::UserSigsegv) {
+            self.dirty_pages.insert(pn);
+        }
+    }
+
+    /// Disarm tracking and restore nominal protections.
+    pub fn disarm_tracking(&mut self) -> u64 {
+        self.track = TrackMode::Off;
+        let vmas = self.vmas.clone();
+        let mut n = 0;
+        for (pn, page) in self.pages.iter_mut() {
+            if let Some(v) = vmas.iter().find(|v| v.contains(pn * PAGE_SIZE)) {
+                if page.prot != v.prot {
+                    page.prot = v.prot;
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+
+    /// Total bytes resident.
+    pub fn resident_bytes(&self) -> u64 {
+        self.pages.len() as u64 * PAGE_SIZE
+    }
+
+    /// Render a `/proc/<pid>/maps`-style listing.
+    pub fn maps_listing(&self) -> String {
+        let mut s = String::new();
+        for v in &self.vmas {
+            s.push_str(&format!(
+                "{:012x}-{:012x} {} {:?} {}\n",
+                v.start, v.end, v.prot, v.kind, v.name
+            ));
+        }
+        s
+    }
+}
+
+/// Round `x` up to a multiple of `to` (power of two not required).
+pub fn round_up(x: u64, to: u64) -> u64 {
+    x.div_ceil(to) * to
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> AddressSpace {
+        AddressSpace::new(8 * PAGE_SIZE, 16 * PAGE_SIZE)
+    }
+
+    #[test]
+    fn layout_has_four_canonical_vmas() {
+        let a = space();
+        let kinds: Vec<_> = a.vmas().iter().map(|v| v.kind).collect();
+        assert!(kinds.contains(&VmaKind::Text));
+        assert!(kinds.contains(&VmaKind::Data));
+        assert!(kinds.contains(&VmaKind::Heap));
+        assert!(kinds.contains(&VmaKind::Stack));
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let mut a = space();
+        let addr = DATA_BASE + 100;
+        a.write_unchecked(addr, b"hello world");
+        let mut buf = [0u8; 11];
+        a.read_unchecked(addr, &mut buf);
+        assert_eq!(&buf, b"hello world");
+    }
+
+    #[test]
+    fn cross_page_write_round_trips() {
+        let mut a = space();
+        let addr = DATA_BASE + PAGE_SIZE - 3;
+        let payload: Vec<u8> = (0..10u8).collect();
+        a.write_unchecked(addr, &payload);
+        let mut buf = [0u8; 10];
+        a.read_unchecked(addr, &mut buf);
+        assert_eq!(buf.to_vec(), payload);
+        assert_eq!(a.resident_count(), 2);
+    }
+
+    #[test]
+    fn unmapped_access_faults() {
+        let a = space();
+        match a.check_write(0xdead_0000_0000, 4) {
+            AccessOutcome::Fault { kind, .. } => assert_eq!(kind, FaultKind::NotMapped),
+            AccessOutcome::Ok => panic!("expected fault"),
+        }
+    }
+
+    #[test]
+    fn text_is_not_writable() {
+        let a = space();
+        match a.check_write(TEXT_BASE, 4) {
+            AccessOutcome::Fault { kind, .. } => assert_eq!(kind, FaultKind::WriteProtected),
+            AccessOutcome::Ok => panic!("expected fault"),
+        }
+        assert_eq!(a.check_read(TEXT_BASE, 4), AccessOutcome::Ok);
+    }
+
+    #[test]
+    fn sbrk_grows_and_shrinks_heap() {
+        let mut a = space();
+        let b0 = a.brk();
+        let b1 = a.sbrk(3 * PAGE_SIZE as i64).unwrap();
+        assert_eq!(b1, b0 + 3 * PAGE_SIZE);
+        a.write_unchecked(b0, &[1, 2, 3]);
+        assert!(a.resident_count() >= 1);
+        let b2 = a.sbrk(-(3 * PAGE_SIZE as i64)).unwrap();
+        assert_eq!(b2, b0);
+        // Heap page released.
+        assert_eq!(a.page_data(b0 / PAGE_SIZE), None);
+    }
+
+    #[test]
+    fn sbrk_below_base_fails() {
+        let mut a = space();
+        assert!(a.sbrk(-(PAGE_SIZE as i64)).is_err());
+    }
+
+    #[test]
+    fn mmap_and_munmap() {
+        let mut a = space();
+        let addr = a.mmap(5 * PAGE_SIZE, Prot::RW, "anon").unwrap();
+        assert!(addr >= MMAP_BASE);
+        a.write_unchecked(addr, &[9; 64]);
+        assert_eq!(a.check_write(addr, 64), AccessOutcome::Ok);
+        a.munmap(addr).unwrap();
+        assert!(matches!(
+            a.check_write(addr, 1),
+            AccessOutcome::Fault {
+                kind: FaultKind::NotMapped,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn munmap_unknown_region_fails() {
+        let mut a = space();
+        assert!(a.munmap(0x7777_0000).is_err());
+    }
+
+    #[test]
+    fn arm_tracking_write_protects_resident_pages() {
+        let mut a = space();
+        a.write_unchecked(DATA_BASE, &[1; 100]);
+        let protected = a.arm_tracking(TrackMode::KernelPage);
+        assert_eq!(protected, 1);
+        match a.check_write(DATA_BASE, 1) {
+            AccessOutcome::Fault { kind, .. } => assert_eq!(kind, FaultKind::WriteProtected),
+            AccessOutcome::Ok => panic!("tracking did not protect"),
+        }
+        // Resolving the fault dirties the page and restores write access.
+        assert!(a.resolve_tracked_fault(DATA_BASE / PAGE_SIZE));
+        assert_eq!(a.check_write(DATA_BASE, 1), AccessOutcome::Ok);
+        assert!(a.dirty_pages.contains(&(DATA_BASE / PAGE_SIZE)));
+    }
+
+    #[test]
+    fn resolve_fault_on_truly_readonly_page_is_rejected() {
+        let mut a = space();
+        a.arm_tracking(TrackMode::KernelPage);
+        // Text pages are not nominally writable: a write there is a real
+        // protection violation, not a tracking fault.
+        assert!(!a.resolve_tracked_fault(TEXT_BASE / PAGE_SIZE));
+    }
+
+    #[test]
+    fn disarm_restores_nominal_protection() {
+        let mut a = space();
+        a.write_unchecked(DATA_BASE, &[1; 8]);
+        a.arm_tracking(TrackMode::KernelPage);
+        a.disarm_tracking();
+        assert_eq!(a.check_write(DATA_BASE, 1), AccessOutcome::Ok);
+        assert_eq!(a.track, TrackMode::Off);
+    }
+
+    #[test]
+    fn hardware_mode_logs_cache_lines() {
+        let mut a = space();
+        a.arm_tracking(TrackMode::HardwareLine);
+        a.write_unchecked(DATA_BASE, &[1; 1]);
+        a.write_unchecked(DATA_BASE + 200, &[1; 1]);
+        assert_eq!(a.dirty_lines.len(), 2);
+        // Same line twice → still one entry.
+        a.write_unchecked(DATA_BASE + 1, &[2; 1]);
+        assert_eq!(a.dirty_lines.len(), 2);
+    }
+
+    #[test]
+    fn mprotect_counts_pages_and_applies() {
+        let mut a = space();
+        a.write_unchecked(DATA_BASE, &[1; (2 * PAGE_SIZE) as usize]);
+        let n = a
+            .mprotect(DATA_BASE, 2 * PAGE_SIZE, Prot::R)
+            .expect("mprotect");
+        assert_eq!(n, 2);
+        assert!(matches!(
+            a.check_write(DATA_BASE, 1),
+            AccessOutcome::Fault { .. }
+        ));
+        a.mprotect(DATA_BASE, 2 * PAGE_SIZE, Prot::RW).unwrap();
+        assert_eq!(a.check_write(DATA_BASE, 1), AccessOutcome::Ok);
+    }
+
+    #[test]
+    fn mprotect_rejects_unmapped_and_unaligned() {
+        let mut a = space();
+        assert!(a.mprotect(DATA_BASE + 1, 10, Prot::R).is_err());
+        assert!(a.mprotect(0xdd00_0000_0000, PAGE_SIZE, Prot::R).is_err());
+    }
+
+    #[test]
+    fn maps_listing_mentions_all_vmas() {
+        let a = space();
+        let listing = a.maps_listing();
+        assert!(listing.contains("[text]"));
+        assert!(listing.contains("[heap]"));
+        assert!(listing.contains("[stack]"));
+    }
+
+    #[test]
+    fn peek_poke_do_not_affect_stats() {
+        let mut a = space();
+        a.poke(DATA_BASE, &[7; 32]);
+        let mut buf = [0u8; 32];
+        a.peek(DATA_BASE, &mut buf);
+        assert_eq!(buf, [7; 32]);
+        assert_eq!(a.stats.bytes_written, 0);
+        assert_eq!(a.stats.bytes_read, 0);
+    }
+
+    #[test]
+    fn round_up_works() {
+        assert_eq!(round_up(0, 4096), 0);
+        assert_eq!(round_up(1, 4096), 4096);
+        assert_eq!(round_up(4096, 4096), 4096);
+        assert_eq!(round_up(4097, 4096), 8192);
+    }
+}

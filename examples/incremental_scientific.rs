@@ -1,0 +1,69 @@
+//! The incremental-checkpointing story for scientific workloads: how much
+//! data each tracking technique ships for the paper's spectrum of
+//! memory-update patterns (dense, sparse, append, read-mostly) — the
+//! direction the paper argues Linux should take.
+//!
+//! ```text
+//! cargo run --release --example incremental_scientific
+//! ```
+
+use ckpt_restart::core::mechanism::KernelCkptEngine;
+use ckpt_restart::core::{shared_storage, TrackerKind};
+use ckpt_restart::simos::apps::{AppParams, NativeKind};
+use ckpt_restart::simos::cost::CostModel;
+use ckpt_restart::simos::Kernel;
+use ckpt_restart::storage::LocalDisk;
+
+fn run_steps(k: &mut Kernel, pid: ckpt_restart::simos::Pid, n: u64) {
+    let target = k.process(pid).unwrap().work_done + n;
+    while k.process(pid).unwrap().work_done < target {
+        k.run_for(2_000).unwrap();
+    }
+}
+
+fn main() {
+    println!("workload        tracker            ckpt#2 pages  ckpt#2 bytes   ckpt#2 time");
+    println!("--------------------------------------------------------------------------");
+    for (label, kind) in [
+        ("dense-sweep ", NativeKind::DenseSweep),
+        ("sparse-rand ", NativeKind::SparseRandom),
+        ("append-log  ", NativeKind::AppendLog),
+        ("read-mostly ", NativeKind::ReadMostly),
+    ] {
+        for tracker in [
+            TrackerKind::FullOnly,
+            TrackerKind::KernelPage,
+            TrackerKind::ProbBlock { block: 256 },
+            TrackerKind::HardwareLine,
+        ] {
+            let mut k = Kernel::new(CostModel::circa_2005());
+            let mut params = AppParams::small();
+            params.mem_bytes = 1024 * 1024;
+            params.writes_per_step = 8;
+            params.total_steps = u64::MAX;
+            let pid = k.spawn_native(kind, params).unwrap();
+            k.run_for(2_000_000).unwrap();
+            let mut engine = KernelCkptEngine::new(
+                "demo",
+                "incr",
+                shared_storage(LocalDisk::new(1 << 32)),
+                tracker,
+            );
+            k.freeze_process(pid).unwrap();
+            engine.checkpoint_in_kernel(&mut k, pid).unwrap();
+            k.thaw_process(pid).unwrap();
+            run_steps(&mut k, pid, 10);
+            k.freeze_process(pid).unwrap();
+            let o = engine.checkpoint_in_kernel(&mut k, pid).unwrap();
+            println!(
+                "{label}   {:<18} {:>10}  {:>11}  {:>10} ns",
+                tracker.label(),
+                o.pages_saved,
+                o.encoded_bytes,
+                o.total_ns
+            );
+        }
+        println!();
+    }
+    println!("(first checkpoint is always full; the rows show the second, delta checkpoint)");
+}

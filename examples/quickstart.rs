@@ -1,0 +1,85 @@
+//! Quickstart: checkpoint a running process, kill it, restore it, and
+//! watch it finish as if nothing happened.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use ckpt_restart::core::mechanism::kthread::{
+    KernelThreadMechanism, KthreadIface, KthreadVariant,
+};
+use ckpt_restart::core::mechanism::Mechanism;
+use ckpt_restart::core::{shared_storage, RestorePid, TrackerKind};
+use ckpt_restart::simos::apps::{AppParams, NativeKind};
+use ckpt_restart::simos::cost::CostModel;
+use ckpt_restart::simos::signal::Sig;
+use ckpt_restart::simos::Kernel;
+use ckpt_restart::storage::LocalDisk;
+
+fn main() {
+    // A kernel with one scientific application: a 1 MiB sparse writer.
+    let mut kernel = Kernel::new(CostModel::circa_2005());
+    let mut params = AppParams::small();
+    params.mem_bytes = 1024 * 1024;
+    params.total_steps = 120;
+    let pid = kernel
+        .spawn_native(NativeKind::DenseSweep, params.clone())
+        .expect("spawn");
+    println!(
+        "spawned {pid} running a {}-step dense sweep over 1 MiB",
+        params.total_steps
+    );
+
+    // A CRAK-style checkpointer: kernel thread + /dev device + ioctl,
+    // with kernel-level incremental page tracking.
+    let storage = shared_storage(LocalDisk::new(1 << 30));
+    let mut ckpt = KernelThreadMechanism::new(
+        "crak",
+        "quickstart",
+        storage,
+        TrackerKind::KernelPage,
+        KthreadIface::Ioctl,
+        KthreadVariant::default(),
+    );
+    ckpt.prepare(&mut kernel, pid).expect("prepare");
+
+    // Let it compute, checkpoint twice (full, then incremental).
+    kernel.run_for(20_000_000).expect("run");
+    let o1 = ckpt.checkpoint(&mut kernel, pid).expect("ckpt 1");
+    println!(
+        "checkpoint #1: {} pages, {} bytes encoded, {} ns, incremental={}",
+        o1.pages_saved, o1.encoded_bytes, o1.total_ns, o1.incremental
+    );
+    kernel.run_for(10_000_000).expect("run");
+    let o2 = ckpt.checkpoint(&mut kernel, pid).expect("ckpt 2");
+    println!(
+        "checkpoint #2: {} pages, {} bytes encoded, incremental={}",
+        o2.pages_saved, o2.encoded_bytes, o2.incremental
+    );
+
+    // Disaster strikes.
+    let progress = kernel.process(pid).unwrap().work_done;
+    kernel.post_signal(pid, Sig::SIGKILL);
+    kernel.run_for(20_000_000).expect("run");
+    println!(
+        "killed {pid} at {} completed steps (exit code {:?})",
+        progress,
+        kernel.process(pid).unwrap().exit_code()
+    );
+
+    // Restart on a brand-new kernel ("another node").
+    let mut node2 = Kernel::new(CostModel::circa_2005());
+    let restart = ckpt.restart(&mut node2, RestorePid::Fresh).expect("restart");
+    println!(
+        "restored as {} on a fresh kernel with {} steps of preserved progress",
+        restart.pid, restart.work_done
+    );
+    let code = node2.run_until_exit(restart.pid).expect("finish");
+    let p = node2.process(restart.pid).unwrap();
+    println!(
+        "application finished with exit code {code} after {} total steps",
+        p.work_done
+    );
+    assert_eq!(p.work_done, params.total_steps);
+    println!("progress from before the crash was preserved — quickstart OK");
+}

@@ -1,0 +1,31 @@
+//! # ckpt-restart — checkpoint/restart for fault tolerance
+//!
+//! A Rust reproduction of *Current Practice and a Direction Forward in
+//! Checkpoint/Restart Implementations for Fault Tolerance* (Sancho, Petrini,
+//! Davis, Gioiosa, Jiang — LANL, 2005): the full taxonomy of
+//! checkpoint/restart mechanisms implemented and measurable over a
+//! deterministic operating-system simulator.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`simos`] — the OS substrate (processes, VM, signals, scheduler,
+//!   kernel threads, syscalls, cost model);
+//! * [`ckpt_image`] — the checkpoint image format;
+//! * [`ckpt_storage`] — stable-storage backends with availability
+//!   semantics;
+//! * [`ckpt_core`] — trackers, the seven mechanism families, pod
+//!   virtualization, policies, restart, and the autonomic daemon;
+//! * [`ckpt_cluster`] — the cluster/fault-injection simulator and
+//!   coordinated checkpointing;
+//! * [`ckpt_survey`] — the twelve surveyed systems; regenerates the
+//!   paper's Table 1 and Figure 1.
+//!
+//! See `README.md` for a quickstart and `EXPERIMENTS.md` for the
+//! reproduction results.
+
+pub use ckpt_cluster as cluster;
+pub use ckpt_core as core;
+pub use ckpt_image as image;
+pub use ckpt_storage as storage;
+pub use ckpt_survey as survey;
+pub use simos;

@@ -1,0 +1,222 @@
+//! The reproduction's central invariant, property-tested across the
+//! mechanism space: **restarting from a checkpoint is indistinguishable
+//! from never having crashed**.
+//!
+//! For a random application, a random checkpoint instant, and a random
+//! mechanism family, the final guest state of crash+restore+continue must
+//! equal the uninterrupted run's.
+
+use ckpt_restart::core::mechanism::ksignal::KernelSignalMechanism;
+use ckpt_restart::core::mechanism::kthread::{
+    KernelThreadMechanism, KthreadIface, KthreadVariant,
+};
+use ckpt_restart::core::mechanism::syscall::{SyscallMechanism, SyscallVariant};
+use ckpt_restart::core::mechanism::user_level::{Trigger, UserLevelMechanism};
+use ckpt_restart::core::mechanism::Mechanism;
+use ckpt_restart::core::{shared_storage, RestorePid, TrackerKind};
+use ckpt_restart::simos::apps::{self, AppParams, NativeKind};
+use ckpt_restart::simos::cost::CostModel;
+use ckpt_restart::simos::signal::Sig;
+use ckpt_restart::simos::Kernel;
+use ckpt_restart::storage::LocalDisk;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy)]
+enum Family {
+    UserSignal,
+    SyscallByPid,
+    KernelSignal,
+    KthreadIoctl,
+    KthreadProc,
+}
+
+fn family_strategy() -> impl Strategy<Value = Family> {
+    prop_oneof![
+        Just(Family::UserSignal),
+        Just(Family::SyscallByPid),
+        Just(Family::KernelSignal),
+        Just(Family::KthreadIoctl),
+        Just(Family::KthreadProc),
+    ]
+}
+
+fn kind_strategy() -> impl Strategy<Value = NativeKind> {
+    prop_oneof![
+        Just(NativeKind::DenseSweep),
+        Just(NativeKind::SparseRandom),
+        Just(NativeKind::AppendLog),
+        Just(NativeKind::ReadMostly),
+        Just(NativeKind::Stencil2D),
+    ]
+}
+
+fn tracker_strategy() -> impl Strategy<Value = TrackerKind> {
+    prop_oneof![
+        Just(TrackerKind::FullOnly),
+        Just(TrackerKind::KernelPage),
+        Just(TrackerKind::ProbBlock { block: 256 }),
+    ]
+}
+
+fn build(family: Family, tracker: TrackerKind) -> Box<dyn Mechanism> {
+    let storage = shared_storage(LocalDisk::new(1 << 32));
+    // User-level mechanisms cannot use kernel trackers.
+    match family {
+        Family::UserSignal => Box::new(UserLevelMechanism::new(
+            "libckpt",
+            "prop",
+            storage,
+            if matches!(tracker, TrackerKind::KernelPage) {
+                TrackerKind::UserPage
+            } else {
+                tracker
+            },
+            Trigger::Signal { sig: Sig::SIGUSR1 },
+        )),
+        Family::SyscallByPid => Box::new(SyscallMechanism::new(
+            "epckpt",
+            SyscallVariant::ByPid,
+            "prop",
+            storage,
+            tracker,
+        )),
+        Family::KernelSignal => Box::new(KernelSignalMechanism::new(
+            "chpox", "prop", storage, tracker,
+        )),
+        Family::KthreadIoctl => Box::new(KernelThreadMechanism::new(
+            "crak",
+            "prop",
+            storage,
+            tracker,
+            KthreadIface::Ioctl,
+            KthreadVariant::default(),
+        )),
+        Family::KthreadProc => Box::new(KernelThreadMechanism::new(
+            "psnc",
+            "prop",
+            storage,
+            tracker,
+            KthreadIface::ProcWrite,
+            KthreadVariant {
+                compress: false,
+                ..Default::default()
+            },
+        )),
+    }
+}
+
+fn final_state(k: &Kernel, pid: ckpt_restart::simos::Pid) -> (u64, u64) {
+    let p = k.process(pid).expect("process");
+    let mut step = [0u8; 8];
+    let mut sum = [0u8; 8];
+    p.mem.peek(apps::H_STEP, &mut step);
+    p.mem.peek(apps::H_SUM, &mut sum);
+    (u64::from_le_bytes(step), u64::from_le_bytes(sum))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12,
+        max_shrink_iters: 0,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn crash_restore_continue_equals_uninterrupted_run(
+        family in family_strategy(),
+        kind in kind_strategy(),
+        tracker in tracker_strategy(),
+        ckpt_after_steps in 3u64..24,
+        n_checkpoints in 1usize..3,
+        seed in 1u64..1_000,
+    ) {
+        let mut params = AppParams::small();
+        params.seed = seed;
+        params.total_steps = 40;
+        // Reference: uninterrupted.
+        let (ref_step, ref_sum) = apps::reference_run(kind, &params);
+
+        // Instrumented run: checkpoint at the chosen instant(s), crash,
+        // restore on a fresh kernel, continue to completion.
+        let mut k = Kernel::new(CostModel::circa_2005());
+        let pid = k.spawn_native(kind, params.clone()).unwrap();
+        let mut mech = build(family, tracker);
+        mech.prepare(&mut k, pid).unwrap();
+        for i in 0..n_checkpoints {
+            let target = ckpt_after_steps + i as u64 * 5;
+            while k.process(pid).unwrap().work_done < target
+                && !k.process(pid).unwrap().has_exited()
+            {
+                k.run_for(1_000).unwrap();
+            }
+            if k.process(pid).unwrap().has_exited() {
+                break;
+            }
+            mech.checkpoint(&mut k, pid).unwrap();
+        }
+        // Crash the whole node.
+        drop(k);
+        let mut k2 = Kernel::new(CostModel::circa_2005());
+        let r = mech.restart(&mut k2, RestorePid::Fresh).unwrap();
+        let code = k2.run_until_exit(r.pid).unwrap();
+        prop_assert_eq!(code, 0);
+        let (step, sum) = final_state(&k2, r.pid);
+        prop_assert_eq!(step, ref_step, "step diverged for {:?}/{:?}", family, kind);
+        prop_assert_eq!(sum, ref_sum, "checksum diverged for {:?}/{:?}", family, kind);
+    }
+
+    #[test]
+    fn restored_image_work_counter_is_monotone(
+        kind in kind_strategy(),
+        seed in 1u64..500,
+    ) {
+        // A restart never loses more work than since the last checkpoint,
+        // and never invents progress.
+        let mut params = AppParams::small();
+        params.seed = seed;
+        params.total_steps = u64::MAX;
+        let mut k = Kernel::new(CostModel::circa_2005());
+        let pid = k.spawn_native(kind, params).unwrap();
+        let mut mech = build(Family::KthreadIoctl, TrackerKind::KernelPage);
+        mech.prepare(&mut k, pid).unwrap();
+        k.run_for(5_000_000).unwrap();
+        mech.checkpoint(&mut k, pid).unwrap();
+        let work_at_ckpt_max = k.process(pid).unwrap().work_done;
+        let mut k2 = Kernel::new(CostModel::circa_2005());
+        let r = mech.restart(&mut k2, RestorePid::Fresh).unwrap();
+        prop_assert!(r.work_done <= work_at_ckpt_max);
+    }
+}
+
+#[test]
+fn vm_program_restart_correctness() {
+    // VM programs carry register state; checkpoint mid-loop and confirm
+    // the final memory equals an uninterrupted run's.
+    let text = ckpt_restart::simos::asm::programs::summer(200);
+    let mut kr = Kernel::new(CostModel::circa_2005());
+    let rp = kr.spawn_vm(text.clone(), "summer").unwrap();
+    kr.run_until_exit(rp).unwrap();
+    let mut expect = [0u8; 8];
+    kr.process(rp)
+        .unwrap()
+        .mem
+        .peek(ckpt_restart::simos::mem::DATA_BASE, &mut expect);
+
+    let mut k = Kernel::new(CostModel::circa_2005());
+    let pid = k.spawn_vm(text, "summer").unwrap();
+    let mut mech = build(Family::KernelSignal, TrackerKind::FullOnly);
+    mech.prepare(&mut k, pid).unwrap();
+    k.run_for(200).unwrap(); // a couple hundred instructions in
+    assert!(!k.process(pid).unwrap().has_exited());
+    mech.checkpoint(&mut k, pid).unwrap();
+    drop(k);
+    let mut k2 = Kernel::new(CostModel::circa_2005());
+    let r = mech.restart(&mut k2, RestorePid::Fresh).unwrap();
+    k2.run_until_exit(r.pid).unwrap();
+    let mut got = [0u8; 8];
+    k2.process(r.pid)
+        .unwrap()
+        .mem
+        .peek(ckpt_restart::simos::mem::DATA_BASE, &mut got);
+    assert_eq!(got, expect);
+}
