@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# The CI gate: build, test, lint. Run locally before pushing; the GitHub
+# Actions workflow (.github/workflows/ci.yml) runs exactly this script.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo '== cargo build --release =='
+cargo build --release --workspace
+
+echo '== cargo test -q =='
+cargo test -q --workspace
+
+echo '== cargo clippy -- -D warnings =='
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo 'CI OK'

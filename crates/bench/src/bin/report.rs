@@ -14,7 +14,7 @@ fn main() {
     let which = args.first().map(|s| s.as_str()).unwrap_or("all");
     let out = match which {
         "list" => {
-            println!("experiments: table1 figure1 c1 c2 c3 c3b c4 c5 c6 c7a c7b c8 c9 c10 all");
+            println!("experiments: table1 figure1 c1 c2 c3 c3b c4 c5 c6 c7a c7b c8 c9 c10 trace all");
             return;
         }
         "table1" | "t1" => bench::t1_table(),
@@ -31,6 +31,7 @@ fn main() {
         "c8" | "migration" => bench::c8_migration(),
         "c9" | "batch" => bench::c9_batch_vs_autonomic(),
         "c10" | "sensitivity" => bench::c10_sensitivity(),
+        "trace" => bench::trace_breakdown(),
         "all" => bench::run_all(),
         other => {
             eprintln!("unknown experiment '{other}' — try: report list");

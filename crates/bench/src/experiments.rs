@@ -890,6 +890,154 @@ pub fn c10_sensitivity() -> String {
     )
 }
 
+// ---------------------------------------------------------------------
+// TRACE — ckpt-trace per-phase cost breakdown
+// ---------------------------------------------------------------------
+
+/// `report trace`: one checkpoint per mechanism family under a recording
+/// trace sink. Prints the per-phase cost breakdown per family plus the
+/// kernel, storage and cluster event sections, and checks that each
+/// family's traced cost reconciles with its outcome's end-to-end total.
+pub fn trace_breakdown() -> String {
+    use ckpt_core::mechanism::hibernate::{SoftwareSuspend, SuspendMode};
+    use ckpt_cluster::Coordinator;
+    use simos::trace::{Phase, TraceHandle};
+
+    let trace = TraceHandle::recording();
+    // (family, trace mechanism name, outcome end-to-end total).
+    let mut totals: Vec<(&'static str, &'static str, u64)> = Vec::new();
+    let families = [
+        ("user-level", "user-signal", "libckpt"),
+        ("syscall", "syscall-bypid", "epckpt"),
+        ("kernel-signal", "kernel-signal", "chpox"),
+        ("kernel-thread", "kthread-ioctl", "crak"),
+        ("fork-concurrent", "fork-concurrent", "forkckpt"),
+        ("hardware", "hw-revive", "revive"),
+    ];
+    for (family, which, mech_name) in families {
+        let mut k = fresh_kernel();
+        k.set_trace(trace.clone());
+        let pid = spawn(&mut k, NativeKind::SparseRandom, 512 * 1024, 8);
+        let mut mech = build_mech(which, disk());
+        mech.prepare(&mut k, pid).unwrap();
+        k.run_for(20_000_000).unwrap();
+        let o = mech.checkpoint(&mut k, pid).unwrap();
+        totals.push((family, mech_name, o.total_ns));
+    }
+    // The seventh family: whole-machine hibernation.
+    {
+        let mut k = fresh_kernel();
+        k.set_trace(trace.clone());
+        spawn(&mut k, NativeKind::SparseRandom, 256 * 1024, 4);
+        k.run_for(20_000_000).unwrap();
+        let mut susp = SoftwareSuspend::new(shared_storage(SwapStore::new(1 << 30)));
+        let r = susp.hibernate(&mut k, SuspendMode::ToDisk).unwrap();
+        totals.push(("hibernate", "swsusp", r.total_ns));
+    }
+    // A small coordinated round + one migration so the cluster section has
+    // something to show.
+    {
+        let mut c = Cluster::new(2, CostModel::circa_2005(), FailureConfig::none());
+        c.set_trace(trace.clone());
+        let job = ckpt_cluster::MpiJob::launch(
+            &mut c,
+            "app",
+            2,
+            NativeKind::SparseRandom,
+            AppParams::small(),
+            4,
+            32 * 1024,
+        )
+        .unwrap();
+        let mut coord = Coordinator::new("trace-demo", TrackerKind::KernelPage);
+        coord.checkpoint(&mut c, &job).unwrap();
+        let mut params = AppParams::small();
+        params.total_steps = u64::MAX;
+        let pid = c
+            .node(NodeId(0))
+            .kernel()
+            .unwrap()
+            .spawn_native(NativeKind::SparseRandom, params)
+            .unwrap();
+        c.advance(10_000_000);
+        migrate(&mut c, NodeId(0), pid, NodeId(1), MigrationMode::FreshPid, None).unwrap();
+    }
+    let rep = trace.report();
+
+    const COLS: [Phase; 10] = [
+        Phase::Pending,
+        Phase::Freeze,
+        Phase::Walk,
+        Phase::Capture,
+        Phase::Compress,
+        Phase::Store,
+        Phase::Prune,
+        Phase::Rearm,
+        Phase::Resume,
+        Phase::Other,
+    ];
+    let mut rows = Vec::new();
+    let mut worst_pct = 0.0f64;
+    for (family, name, total) in &totals {
+        let traced = rep.mechanism_total(name);
+        let pct = if *total > 0 {
+            (traced.abs_diff(*total)) as f64 * 100.0 / *total as f64
+        } else {
+            0.0
+        };
+        worst_pct = worst_pct.max(pct);
+        let mut row = vec![format!("{family} ({name})")];
+        for ph in COLS {
+            row.push(ns(rep.phase_cost(name, ph)));
+        }
+        row.push(ns(traced));
+        row.push(ns(*total));
+        row.push(format!("{pct:.2}%"));
+        rows.push(row);
+    }
+    let mut out = format!(
+        "TRACE — per-mechanism phase costs (one full checkpoint each)\n{}",
+        table(
+            &[
+                "mechanism", "pending", "freeze", "walk", "capture", "compress", "store",
+                "prune", "rearm", "resume", "other", "trace total", "outcome total", "diff",
+            ],
+            &rows,
+        )
+    );
+    out.push_str(&format!(
+        "worst trace-vs-outcome divergence: {worst_pct:.2}% (reconciles within 1%: {})\n",
+        worst_pct < 1.0
+    ));
+
+    out.push_str("\nkernel events (count, attributed cost):\n");
+    for (ev, ctr) in &rep.kernel {
+        out.push_str(&format!(
+            "  {:<16} {:>8}  {}\n",
+            ev.label(),
+            ctr.count,
+            ns(ctr.cost_ns)
+        ));
+    }
+    out.push_str("\nstorage operations (backend, op, count, bytes, stall):\n");
+    for ((op, class), agg) in &rep.storage {
+        out.push_str(&format!(
+            "  {:<12} {:<7} {:>4}  {:>10}  {}\n",
+            class,
+            op.label(),
+            agg.ops,
+            bytes(agg.bytes),
+            ns(agg.stall_ns)
+        ));
+    }
+    out.push_str("\ncluster events:\n");
+    for rec in &rep.cluster {
+        out.push_str(&format!("  t={:<14} {:?}\n", rec.at_ns, rec.event));
+    }
+    out.push_str(&format!("\ntotal events recorded: {}\n", rep.events_recorded));
+    out
+}
+
 /// Run every experiment and concatenate (the `report all` output).
 pub fn run_all() -> String {
     let parts = [
@@ -907,6 +1055,7 @@ pub fn run_all() -> String {
         c8_migration(),
         c9_batch_vs_autonomic(),
         c10_sensitivity(),
+        trace_breakdown(),
     ];
     parts.join("\n")
 }

@@ -14,6 +14,7 @@ use ckpt_storage::RemoteServer;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use simos::cost::CostModel;
+use simos::trace::{ClusterEvent, TraceHandle};
 use std::sync::Arc;
 
 /// Failure-injection configuration.
@@ -65,6 +66,9 @@ pub struct Cluster {
     pending_repair: Vec<(usize, u64)>,
     /// All failures so far.
     pub failure_log: Vec<FailureEvent>,
+    /// Cluster-wide trace sink, shared with every node kernel (a no-op
+    /// sink unless [`Cluster::set_trace`] installs a recording one).
+    trace: TraceHandle,
 }
 
 impl Cluster {
@@ -86,7 +90,24 @@ impl Cluster {
             next_failure,
             pending_repair: Vec::new(),
             failure_log: Vec::new(),
+            trace: TraceHandle::disabled(),
         }
+    }
+
+    /// Install a trace sink on the cluster and every node kernel (nodes
+    /// repaired later inherit it too).
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
+        for node in self.nodes.iter_mut() {
+            if let Some(k) = node.kernel() {
+                k.set_trace(self.trace.clone());
+            }
+        }
+    }
+
+    /// The cluster-wide trace sink.
+    pub fn trace(&self) -> &TraceHandle {
+        &self.trace
     }
 
     fn draw_failure(rng: &mut StdRng, cfg: &FailureConfig, now: u64) -> Option<u64> {
@@ -146,6 +167,8 @@ impl Cluster {
                 if let Some(t) = self.next_failure[i] {
                     if t <= self.now_ns && self.nodes[i].alive() {
                         self.nodes[i].fail();
+                        self.trace
+                            .cluster(ClusterEvent::FailureInjected { node: i as u32 }, self.now_ns);
                         events.push(FailureEvent {
                             node: NodeId(i as u32),
                             at_ns: self.now_ns,
@@ -171,6 +194,11 @@ impl Cluster {
             });
             for i in due {
                 self.nodes[i].repair(now);
+                if let Some(k) = self.nodes[i].kernel() {
+                    k.set_trace(self.trace.clone());
+                }
+                self.trace
+                    .cluster(ClusterEvent::NodeRepaired { node: i as u32 }, now);
             }
             if step == 0 && next == deadline {
                 break;
@@ -184,6 +212,8 @@ impl Cluster {
     pub fn inject_failure(&mut self, id: NodeId) -> FailureEvent {
         let i = id.0 as usize;
         self.nodes[i].fail();
+        self.trace
+            .cluster(ClusterEvent::FailureInjected { node: id.0 }, self.now_ns);
         let ev = FailureEvent {
             node: id,
             at_ns: self.now_ns,

@@ -92,11 +92,18 @@ impl Coordinator {
             let mut img = capture_image(k, r.pid, &opts)?;
             // Key images by *rank*, which is stable across migrations.
             img.header.pid = r.rank;
-            let receipt = {
+            let (receipt, store_label) = {
                 let mut s = remote.lock();
-                store_image(s.as_mut(), &self.job_key, &img, &k.cost)
-                    .map_err(|e| SimError::Usage(format!("coordinated store failed: {e}")))?
+                let r = store_image(s.as_mut(), &self.job_key, &img, &k.cost)
+                    .map_err(|e| SimError::Usage(format!("coordinated store failed: {e}")))?;
+                (r, s.label())
             };
+            k.trace.storage(
+                simos::trace::StorageOp::Store,
+                &store_label,
+                receipt.bytes,
+                receipt.time_ns,
+            );
             let t = k.cost.memcpy(receipt.bytes) + receipt.time_ns;
             k.charge(t);
             total_bytes += receipt.bytes;
@@ -122,6 +129,14 @@ impl Coordinator {
             round_ns: target - t0,
             incremental,
         };
+        cluster.trace().cluster(
+            simos::trace::ClusterEvent::CoordRound {
+                ranks: job.ranks.len() as u32,
+                bytes: total_bytes,
+                round_ns: outcome.round_ns,
+            },
+            target,
+        );
         self.outcomes.push(outcome.clone());
         Ok(outcome)
     }
@@ -159,20 +174,20 @@ impl Coordinator {
             let node = alive[i % alive.len()];
             let remote = cluster.nodes[node.0 as usize].remote.clone();
             let k = cluster.node(node).kernel().expect("alive");
-            let (full, load_ns) = {
+            let (full, load_ns, load_label) = {
                 let s = remote.lock();
-                load_latest_chain(&**s, &self.job_key, rank, &k.cost)
-                    .map_err(|e| SimError::Usage(format!("coordinated load failed: {e}")))?
+                let (img, t) = load_latest_chain(&**s, &self.job_key, rank, &k.cost)
+                    .map_err(|e| SimError::Usage(format!("coordinated load failed: {e}")))?;
+                (img, t, s.label())
             };
             k.charge(load_ns);
-            let pid = restore_image(
-                k,
-                &full,
-                &RestoreOptions {
-                    pid: RestorePid::Fresh,
-                    run: true,
-                },
-            )?;
+            k.trace.storage(
+                simos::trace::StorageOp::Load,
+                &load_label,
+                full.memory_bytes(),
+                load_ns,
+            );
+            let pid = restore_image(k, &full, &RestoreOptions::fresh_running(RestorePid::Fresh))?;
             // Tracking state does not survive migration; re-arm fresh.
             if let Some(t) = self.trackers.get_mut(&rank) {
                 *t = Tracker::new(self.tracker_kind);

@@ -75,22 +75,12 @@ pub fn migrate(
         let t = k.cost.memcpy(bytes_moved);
         k.charge(t);
         match mode {
-            MigrationMode::KeepIdentity => restore_image(
-                k,
-                &img,
-                &RestoreOptions {
-                    pid: RestorePid::Original,
-                    run: true,
-                },
-            )?,
-            MigrationMode::FreshPid => restore_image(
-                k,
-                &img,
-                &RestoreOptions {
-                    pid: RestorePid::Fresh,
-                    run: true,
-                },
-            )?,
+            MigrationMode::KeepIdentity => {
+                restore_image(k, &img, &RestoreOptions::fresh_running(RestorePid::Original))?
+            }
+            MigrationMode::FreshPid => {
+                restore_image(k, &img, &RestoreOptions::fresh_running(RestorePid::Fresh))?
+            }
             MigrationMode::Podded => {
                 let pod = pod.ok_or_else(|| {
                     SimError::Usage("Podded migration requires a pod".into())
@@ -110,6 +100,14 @@ pub fn migrate(
         }
         let _ = k.reap(pid);
     }
+    cluster.trace().cluster(
+        simos::trace::ClusterEvent::Migration {
+            from: from.0,
+            to: to.0,
+            bytes: bytes_moved,
+        },
+        cluster.now(),
+    );
     Ok(MigrationReport {
         from,
         to,

@@ -16,6 +16,7 @@ use ckpt_image::ImageKind;
 use ckpt_storage::{prune_before, store_image};
 use simos::module::UserAgent;
 use simos::syscall::{Syscall, Whence};
+use simos::trace::Phase;
 use simos::types::{Pid, SimError, SimResult};
 use simos::Kernel;
 use std::any::Any;
@@ -147,8 +148,13 @@ impl UserCkptAgent {
     pub fn perform_checkpoint(&mut self, k: &mut Kernel, pid: Pid) -> SimResult<CkptOutcome> {
         let t0 = k.now();
         let stats0 = k.stats.clone();
-        self.gather_state(k, pid)?;
+        let trace_before = k.trace.mechanism_total(&self.cfg.name);
         let next_seq = self.seq + 1;
+        // The library runs in the application's own context (handler or
+        // inserted call): the app is quiescent for free.
+        k.trace
+            .phase(&self.cfg.name, Phase::Freeze, pid.0, next_seq, t0, 0);
+        self.gather_state(k, pid)?;
         let incremental_ok = self.tracker.kind().supports_incremental()
             && self.seq > 0
             && self.tracker.is_armed()
@@ -173,10 +179,28 @@ impl UserCkptAgent {
             o.node = self.cfg.node;
             (o, 0)
         };
+        // The syscall gather + tracker walk are the library's state walk.
+        k.trace.phase(
+            &self.cfg.name,
+            Phase::Walk,
+            pid.0,
+            next_seq,
+            k.now(),
+            k.now() - t0,
+        );
         let kind = opts.kind;
         // The library serializes its own state; the page copies charged by
         // capture_image stand in for the user-space copy loop.
+        let cap0 = k.now();
         let img = capture_image(k, pid, &opts)?;
+        k.trace.phase(
+            &self.cfg.name,
+            Phase::Capture,
+            pid.0,
+            next_seq,
+            k.now(),
+            k.now() - cap0,
+        );
         let pages_saved = img.page_count() as u64;
         let memory_bytes = img.memory_bytes();
         // Image I/O: write() loop in chunks — the user-level tax the
@@ -189,19 +213,69 @@ impl UserCkptAgent {
                 .map_err(|e| SimError::Usage(format!("user-level store failed: {e}")))?;
             encoded_len = receipt.bytes;
             storage_ns = receipt.time_ns;
+            let label = storage.label();
+            drop(storage);
+            k.trace
+                .storage(simos::trace::StorageOp::Store, &label, encoded_len, storage_ns);
         }
+        let io0 = k.now();
         k.charge_user_io(encoded_len, self.cfg.chunk);
+        k.trace.phase(
+            &self.cfg.name,
+            Phase::Compress,
+            pid.0,
+            next_seq,
+            k.now(),
+            k.now() - io0,
+        );
         k.charge(storage_ns);
+        k.trace.phase(
+            &self.cfg.name,
+            Phase::Store,
+            pid.0,
+            next_seq,
+            k.now(),
+            storage_ns,
+        );
         self.seq = next_seq;
         if kind == ImageKind::Full {
             self.last_full_seq = next_seq;
+            let prune0 = k.now();
             let mut storage = self.storage.lock();
             let _ = prune_before(storage.as_mut(), &self.cfg.job, pid.0, next_seq);
+            drop(storage);
+            k.trace.phase(
+                &self.cfg.name,
+                Phase::Prune,
+                pid.0,
+                next_seq,
+                k.now(),
+                k.now() - prune0,
+            );
         }
         if self.tracker.kind().supports_incremental() {
+            let arm0 = k.now();
             self.tracker.arm(k, pid)?;
+            k.trace.phase(
+                &self.cfg.name,
+                Phase::Rearm,
+                pid.0,
+                next_seq,
+                k.now(),
+                k.now() - arm0,
+            );
         }
         let total_ns = k.now() - t0;
+        k.trace
+            .phase(&self.cfg.name, Phase::Resume, pid.0, next_seq, k.now(), 0);
+        crate::mechanism::emit_phase_residual(
+            k,
+            &self.cfg.name,
+            pid,
+            next_seq,
+            total_ns,
+            trace_before,
+        );
         let outcome = CkptOutcome {
             seq: next_seq,
             incremental: kind == ImageKind::Incremental,

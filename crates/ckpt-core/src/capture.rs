@@ -28,8 +28,12 @@ pub enum PageSelection {
     Set(BTreeSet<u64>),
 }
 
-/// Capture configuration.
+/// Capture configuration. Construct via [`CaptureOptions::full`] or
+/// [`CaptureOptions::incremental`] and override fields afterwards — the
+/// struct is `#[non_exhaustive]` so new knobs can be added without
+/// breaking downstream crates.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct CaptureOptions {
     pub mechanism: String,
     pub seq: u64,
@@ -201,8 +205,12 @@ pub enum RestorePid {
     Specific(Pid),
 }
 
-/// Restore configuration.
+/// Restore configuration. Construct via [`RestoreOptions::default`],
+/// [`RestoreOptions::fresh_running`], or [`RestoreOptions::stopped`] and
+/// override fields afterwards — `#[non_exhaustive]`, like
+/// [`CaptureOptions`].
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct RestoreOptions {
     pub pid: RestorePid,
     /// Enqueue the process immediately (otherwise it is left stopped).
@@ -215,6 +223,19 @@ impl Default for RestoreOptions {
             pid: RestorePid::Fresh,
             run: true,
         }
+    }
+}
+
+impl RestoreOptions {
+    /// Restore under `pid` and enqueue it immediately.
+    pub fn fresh_running(pid: RestorePid) -> Self {
+        RestoreOptions { pid, run: true }
+    }
+
+    /// Restore under `pid` but leave it stopped (migration installs the
+    /// process before releasing it; pods re-map pids first).
+    pub fn stopped(pid: RestorePid) -> Self {
+        RestoreOptions { pid, run: false }
     }
 }
 

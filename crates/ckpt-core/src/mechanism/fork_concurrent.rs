@@ -17,6 +17,7 @@ use crate::{RestorePid, SharedStorage};
 use ckpt_storage::store_image;
 use simos::module::{KernelModule, KthreadStatus};
 use simos::sched::SchedPolicy;
+use simos::trace::Phase;
 use simos::types::{Errno, KtId, Pid, SimError, SimResult, SysResult};
 use simos::Kernel;
 use std::any::Any;
@@ -33,6 +34,9 @@ struct SaveReq {
     /// the whole request, including the parent's COW faults during the
     /// concurrent save).
     stats0: simos::stats::KernelStats,
+    /// Trace cost already attributed to this mechanism at initiation, so
+    /// the completion-time residual covers exactly this request's span.
+    trace0: u64,
 }
 
 /// Pages the background saver copies per scheduling burst. Small enough
@@ -45,6 +49,8 @@ struct ActiveSave {
     req: SaveReq,
     pages_left: Vec<u64>,
     collected: Vec<ckpt_image::PageRecord>,
+    /// Accumulated page-copy cost across bursts (the Capture phase).
+    capture_ns: u64,
 }
 
 /// The static-kernel extension implementing fork-concurrent checkpoints.
@@ -112,6 +118,7 @@ impl KernelModule for ForkCkptModule {
         }
         let target = if args[0] == 0 { pid } else { Pid(args[0] as u32) };
         let initiated_at = k.now();
+        let trace0 = k.trace.mechanism_total(&self.name);
         let t0 = k.now();
         let child = k.fork_process(target).map_err(|_| Errno::EAGAIN)?;
         // The child is born Stopped (consistent copy); the parent's stall
@@ -123,6 +130,7 @@ impl KernelModule for ForkCkptModule {
             initiated_at,
             fork_stall_ns,
             stats0: k.stats.clone(),
+            trace0,
         });
         if let Some(kt) = self.kt {
             let _ = k.wake_kthread(kt);
@@ -147,6 +155,7 @@ impl KernelModule for ForkCkptModule {
                 req,
                 pages_left,
                 collected: Vec::new(),
+                capture_ns: 0,
             });
         }
         let mut save = self.active.take().expect("just ensured");
@@ -171,12 +180,14 @@ impl KernelModule for ForkCkptModule {
         }
         let t = k.cost.memcpy(burst.len() as u64 * simos::cost::PAGE_SIZE);
         k.charge(t);
+        save.capture_ns += t;
         if !save.pages_left.is_empty() {
             self.active = Some(save);
             return KthreadStatus::Yield;
         }
         // All pages copied: assemble the image (non-page state from the
         // frozen child), store, finish.
+        let capture_ns = save.capture_ns;
         let req = save.req;
         let stats0 = req.stats0.clone();
         let seq = self.seqs.entry(req.parent.0).or_insert(0);
@@ -191,9 +202,10 @@ impl KernelModule for ForkCkptModule {
                 img.pages.sort_by_key(|p| p.page_no);
                 // The image must restore as the *parent*.
                 img.header.pid = req.parent.0;
-                let stored = {
+                let (stored, store_label) = {
                     let mut storage = self.storage.lock();
-                    store_image(storage.as_mut(), &self.job, &img, &k.cost)
+                    let r = store_image(storage.as_mut(), &self.job, &img, &k.cost);
+                    (r, storage.label())
                 };
                 let (bytes, storage_ns) = match stored {
                     Ok(r) => (r.bytes, r.time_ns),
@@ -203,8 +215,37 @@ impl KernelModule for ForkCkptModule {
                         return self.next_status();
                     }
                 };
+                k.trace
+                    .storage(simos::trace::StorageOp::Store, &store_label, bytes, storage_ns);
                 let t = k.cost.memcpy(bytes) + storage_ns;
                 k.charge(t);
+                let total_ns = k.now() - req.initiated_at;
+                // Phases are emitted at completion: Freeze is the parent's
+                // fork stall, Capture the accumulated burst copies, and the
+                // parent logically resumed right after the fork.
+                k.trace.phase(
+                    &self.name,
+                    Phase::Freeze,
+                    req.parent.0,
+                    seq,
+                    req.initiated_at + req.fork_stall_ns,
+                    req.fork_stall_ns,
+                );
+                k.trace
+                    .phase(&self.name, Phase::Capture, req.parent.0, seq, k.now(), capture_ns);
+                k.trace.phase(
+                    &self.name,
+                    Phase::Compress,
+                    req.parent.0,
+                    seq,
+                    k.now(),
+                    k.cost.memcpy(bytes),
+                );
+                k.trace
+                    .phase(&self.name, Phase::Store, req.parent.0, seq, k.now(), storage_ns);
+                k.trace
+                    .phase(&self.name, Phase::Resume, req.parent.0, seq, k.now(), 0);
+                super::emit_phase_residual(k, &self.name, req.parent, seq, total_ns, req.trace0);
                 let outcome = CkptOutcome {
                     seq,
                     incremental: false,
@@ -212,7 +253,7 @@ impl KernelModule for ForkCkptModule {
                     memory_bytes: img.memory_bytes(),
                     logical_dirty_bytes: img.memory_bytes(),
                     encoded_bytes: bytes,
-                    total_ns: k.now() - req.initiated_at,
+                    total_ns,
                     app_stall_ns: req.fork_stall_ns,
                     storage_ns,
                     events: k.stats.delta_since(&stats0),
@@ -355,8 +396,8 @@ impl Mechanism for ForkConcurrentMechanism {
         super::restart_from_shared(&self.storage, &self.job, target, k, pid)
     }
 
-    fn outcomes(&self, k: &mut Kernel) -> Vec<CkptOutcome> {
-        k.with_module_mut::<ForkCkptModule, _>(&self.module_name, |m, _| {
+    fn outcomes(&self, k: &Kernel) -> Vec<CkptOutcome> {
+        k.with_module::<ForkCkptModule, _>(&self.module_name, |m| {
             m.outcomes.iter().map(|(_, o)| o.clone()).collect()
         })
         .unwrap_or_default()

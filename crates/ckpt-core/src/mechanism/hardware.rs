@@ -18,6 +18,7 @@ use super::{AgentKind, Context, Initiation, KernelCkptEngine, Mechanism, Mechani
 use crate::report::{CkptOutcome, RestartOutcome};
 use crate::tracker::TrackerKind;
 use crate::{RestorePid, SharedStorage};
+use simos::trace::Phase;
 use simos::types::{Pid, SimError, SimResult};
 use simos::Kernel;
 
@@ -76,10 +77,32 @@ impl Mechanism for HardwareMechanism {
     }
 
     fn checkpoint(&mut self, k: &mut Kernel, pid: Pid) -> SimResult<CkptOutcome> {
+        let trace_before = k.trace.mechanism_total(self.engine.mechanism_name());
+        let t0 = k.now();
+        let seq = self.engine.seq() + 1;
         k.freeze_process(pid)?;
+        {
+            let name = self.engine.mechanism_name();
+            k.trace.phase(name, Phase::Freeze, pid.0, seq, k.now(), k.now() - t0);
+        }
         let stall_start = k.now();
         let mut outcome = self.engine.checkpoint_in_kernel(k, pid)?;
         k.thaw_process(pid)?;
+        {
+            let name = self.engine.mechanism_name();
+            k.trace.phase(name, Phase::Resume, pid.0, seq, k.now(), 0);
+        }
+        // The mechanism's total spans the quiesce as well as the engine's
+        // capture/store work, so the trace's per-phase costs sum to it.
+        outcome.total_ns = k.now() - t0;
+        super::emit_phase_residual(
+            k,
+            self.engine.mechanism_name(),
+            pid,
+            seq,
+            outcome.total_ns,
+            trace_before,
+        );
         match self.flavor {
             HwFlavor::Revive => {
                 // Directory-based flush stalls the processor for the whole
@@ -102,7 +125,7 @@ impl Mechanism for HardwareMechanism {
         self.engine.restart_from_storage(k, pid)
     }
 
-    fn outcomes(&self, _k: &mut Kernel) -> Vec<CkptOutcome> {
+    fn outcomes(&self, _k: &Kernel) -> Vec<CkptOutcome> {
         Vec::new() // all checkpoints are returned synchronously
     }
 }

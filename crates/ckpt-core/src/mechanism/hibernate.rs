@@ -12,6 +12,7 @@
 use crate::capture::{capture_image, restore_image, CaptureOptions, RestoreOptions, RestorePid};
 use crate::SharedStorage;
 use ckpt_storage::{image_key, store_image};
+use simos::trace::{Phase, StorageOp};
 use simos::types::{Pid, SimError, SimResult};
 use simos::Kernel;
 
@@ -56,6 +57,7 @@ impl SoftwareSuspend {
     /// down (the caller then drops or re-creates the kernel; storage
     /// backends get their `on_power_down` from the cluster layer).
     pub fn hibernate(&mut self, k: &mut Kernel, mode: SuspendMode) -> SimResult<HibernateReport> {
+        let trace_before = k.trace.mechanism_total(&self.job);
         let t0 = k.now();
         self.seq += 1;
         // The freeze signal reaches every process (charged per process).
@@ -69,24 +71,50 @@ impl SoftwareSuspend {
             k.charge(t);
             k.freeze_process(*pid)?;
         }
+        let lead = pids.first().map(|p| p.0).unwrap_or(0);
+        k.trace
+            .phase(&self.job, Phase::Freeze, lead, self.seq, k.now(), k.now() - t0);
         // Save the RAM image: one image per process, contiguous swap
         // write.
         let mut bytes = 0u64;
+        let mut capture_ns = 0u64;
+        let mut store_ns = 0u64;
         self.saved_pids.clear();
         for pid in &pids {
             let mut opts = CaptureOptions::full("swsusp", self.seq);
             opts.save_file_contents = true;
+            let cap0 = k.now();
             let img = capture_image(k, *pid, &opts)?;
+            capture_ns += k.now() - cap0;
             let (b, t) = {
                 let mut storage = self.storage.lock();
                 let receipt = store_image(storage.as_mut(), &self.job, &img, &k.cost)
                     .map_err(|e| SimError::Usage(format!("swsusp store failed: {e}")))?;
+                let label = storage.label();
+                drop(storage);
+                k.trace.storage(StorageOp::Store, &label, receipt.bytes, receipt.time_ns);
                 (receipt.bytes, receipt.time_ns)
             };
             bytes += b;
             k.charge(t);
+            store_ns += t;
             self.saved_pids.push(pid.0);
         }
+        k.trace
+            .phase(&self.job, Phase::Capture, lead, self.seq, k.now(), capture_ns);
+        k.trace
+            .phase(&self.job, Phase::Store, lead, self.seq, k.now(), store_ns);
+        // Execution resumes only at the next boot; the zero-cost marker
+        // closes the phase sequence for this round.
+        k.trace.phase(&self.job, Phase::Resume, lead, self.seq, k.now(), 0);
+        crate::mechanism::emit_phase_residual(
+            k,
+            &self.job,
+            Pid(lead),
+            self.seq,
+            k.now() - t0,
+            trace_before,
+        );
         // Power down: processes are gone with the kernel; the caller stops
         // using `k`.
         Ok(HibernateReport {
@@ -115,14 +143,11 @@ impl SoftwareSuspend {
                 )
             };
             k.charge(t);
-            let new_pid = restore_image(
-                k,
-                &img,
-                &RestoreOptions {
-                    pid: RestorePid::Original,
-                    run: true,
-                },
-            )?;
+            let r0 = k.now().saturating_sub(t);
+            let new_pid =
+                restore_image(k, &img, &RestoreOptions::fresh_running(RestorePid::Original))?;
+            k.trace
+                .phase(&self.job, Phase::Restore, new_pid.0, self.seq, k.now(), k.now() - r0);
             restored.push(new_pid);
         }
         Ok(restored)

@@ -20,6 +20,7 @@ use crate::tracker::TrackerKind;
 use crate::{RestorePid, SharedStorage};
 use simos::module::KernelModule;
 use simos::signal::Sig;
+use simos::trace::Phase;
 use simos::types::{Errno, Pid, SimError, SimResult, SysResult};
 use simos::Kernel;
 use std::any::Any;
@@ -107,17 +108,39 @@ impl KernelModule for ChpoxModule {
         if sig != Sig::SIGCKPT {
             return false;
         }
-        let Some(engine) = self.engines.get_mut(&pid.0) else {
+        if !self.engines.contains_key(&pid.0) {
             // Unregistered process: swallow the signal (a real CHPOX would
             // fall back to the built-in default).
             return true;
-        };
+        }
+        let trace_before = k.trace.mechanism_total(&self.name);
+        let seq = self.engines[&pid.0].seq() + 1;
+        // The deferral between kill(2) and this delivery point is the
+        // mechanism's Pending phase — the paper's headline weakness.
+        if let Some(t0) = self.initiated_at.get(&pid.0) {
+            k.trace
+                .phase(&self.name, Phase::Pending, pid.0, seq, k.now(), k.now() - t0);
+        }
+        // Running in the target's own kernel context: the target is
+        // quiescent by construction, so the freeze is free.
+        k.trace.phase(&self.name, Phase::Freeze, pid.0, seq, k.now(), 0);
+        let engine = self.engines.get_mut(&pid.0).expect("checked above");
         match engine.checkpoint_in_kernel(k, pid) {
             Ok(mut outcome) => {
                 // Fold in the deferral between initiation and delivery.
                 if let Some(t0) = self.initiated_at.remove(&pid.0) {
                     outcome.total_ns = k.now() - t0;
                 }
+                k.trace
+                    .phase(&self.name, Phase::Resume, pid.0, seq, k.now(), 0);
+                super::emit_phase_residual(
+                    k,
+                    &self.name,
+                    pid,
+                    seq,
+                    outcome.total_ns,
+                    trace_before,
+                );
                 self.outcomes.push((pid, outcome));
             }
             Err(_) => {
@@ -221,8 +244,8 @@ impl Mechanism for KernelSignalMechanism {
         super::restart_from_shared(&self.storage, &self.job, target, k, pid)
     }
 
-    fn outcomes(&self, k: &mut Kernel) -> Vec<CkptOutcome> {
-        k.with_module_mut::<ChpoxModule, _>(&self.module_name, |m, _| {
+    fn outcomes(&self, k: &Kernel) -> Vec<CkptOutcome> {
+        k.with_module::<ChpoxModule, _>(&self.module_name, |m| {
             m.outcomes.iter().map(|(_, o)| o.clone()).collect()
         })
         .unwrap_or_default()
@@ -332,7 +355,7 @@ mod tests {
         mech.checkpoint(&mut k, pid).unwrap();
         let w = {
             // Work at checkpoint is recorded in the image.
-            let all = mech.outcomes(&mut k);
+            let all = mech.outcomes(&k);
             assert_eq!(all.len(), 1);
             k.process(pid).unwrap().work_done
         };

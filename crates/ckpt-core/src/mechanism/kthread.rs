@@ -31,6 +31,7 @@ use simos::module::{KernelModule, KthreadStatus};
 use simos::sched::SchedPolicy;
 use simos::signal::{Sig, SigAction, UserHandlerKind};
 use simos::syscall::Syscall;
+use simos::trace::Phase;
 use simos::types::{Errno, KtId, Pid, SimError, SimResult, SysResult};
 use simos::Kernel;
 use std::any::Any;
@@ -197,8 +198,25 @@ impl KernelModule for CkptKthreadModule {
             return KthreadStatus::Sleep;
         };
         let target = Pid(pid_raw);
+        let trace_before = k.trace.mechanism_total(&self.name);
+        let seq = self
+            .engines
+            .get(&pid_raw)
+            .map(|e| e.seq() + 1)
+            .unwrap_or(1);
+        // Queue wait + wakeup latency between the tool's request and this
+        // kernel thread actually running.
+        k.trace.phase(
+            &self.name,
+            Phase::Pending,
+            pid_raw,
+            seq,
+            k.now(),
+            k.now() - initiated_at,
+        );
         // Consistency: stop the application ("removing it from its
         // runqueue list").
+        let f0 = k.now();
         if k.freeze_process(target).is_err() {
             self.requests_failed += 1;
             return if self.queue.is_empty() {
@@ -210,14 +228,27 @@ impl KernelModule for CkptKthreadModule {
         let stall_start = k.now();
         // The kernel thread borrowed the interrupted task's page tables;
         // switching to the target's address space costs an mm switch + TLB
-        // flush exactly when they differ (the paper's point).
+        // flush exactly when they differ (the paper's point). Attributed to
+        // the freeze window: it is quiescence overhead, not capture work.
         let _ = k.kthread_attach_mm(target);
+        k.trace
+            .phase(&self.name, Phase::Freeze, pid_raw, seq, k.now(), k.now() - f0);
         let engine = self.engines.get_mut(&pid_raw).expect("enqueued ⇒ engine");
         match engine.checkpoint_in_kernel(k, target) {
             Ok(mut outcome) => {
                 let _ = k.thaw_process(target);
+                k.trace
+                    .phase(&self.name, Phase::Resume, pid_raw, seq, k.now(), 0);
                 outcome.app_stall_ns = k.now() - stall_start;
                 outcome.total_ns = k.now() - initiated_at;
+                super::emit_phase_residual(
+                    k,
+                    &self.name,
+                    target,
+                    seq,
+                    outcome.total_ns,
+                    trace_before,
+                );
                 self.outcomes.push((target, outcome));
             }
             Err(_) => {
@@ -368,8 +399,8 @@ impl Mechanism for KernelThreadMechanism {
         super::restart_from_shared(&self.storage, &self.job, target, k, sel)
     }
 
-    fn outcomes(&self, k: &mut Kernel) -> Vec<CkptOutcome> {
-        k.with_module_mut::<CkptKthreadModule, _>(&self.module_name, |m, _| {
+    fn outcomes(&self, k: &Kernel) -> Vec<CkptOutcome> {
+        k.with_module::<CkptKthreadModule, _>(&self.module_name, |m| {
             m.outcomes.iter().map(|(_, o)| o.clone()).collect()
         })
         .unwrap_or_default()

@@ -28,6 +28,7 @@ use crate::tracker::{Tracker, TrackerKind};
 use crate::SharedStorage;
 use ckpt_image::ImageKind;
 use ckpt_storage::{load_latest_chain, prune_before, store_image};
+use simos::trace::{Phase, StorageOp};
 use simos::types::{Pid, SimError, SimResult};
 use simos::Kernel;
 
@@ -64,8 +65,10 @@ pub enum Initiation {
     UserInitiated,
 }
 
-/// Static description of a mechanism (feeds Table 1).
+/// Static description of a mechanism (feeds Table 1). `#[non_exhaustive]`:
+/// obtained from [`Mechanism::info`], never constructed downstream.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct MechanismInfo {
     pub family: &'static str,
     pub context: Context,
@@ -98,8 +101,9 @@ pub trait Mechanism {
     fn restart(&mut self, k: &mut Kernel, pid: RestorePid) -> SimResult<RestartOutcome>;
 
     /// Outcomes of all checkpoints taken so far (including automatic
-    /// ones). Ordered.
-    fn outcomes(&self, k: &mut Kernel) -> Vec<CkptOutcome>;
+    /// ones). Ordered. Read-only: inspecting results must not perturb
+    /// the kernel (modules are reached via [`Kernel::with_module`]).
+    fn outcomes(&self, k: &Kernel) -> Vec<CkptOutcome>;
 }
 
 /// The shared kernel-context checkpoint engine used by every system-level
@@ -107,48 +111,134 @@ pub trait Mechanism {
 /// stores, prunes, re-arms tracking. Callers handle freezing and stall
 /// accounting.
 pub struct KernelCkptEngine {
-    pub mechanism_name: String,
-    pub job: String,
-    pub storage: SharedStorage,
-    pub tracker: Tracker,
+    pub(crate) mechanism_name: String,
+    pub(crate) job: String,
+    pub(crate) storage: SharedStorage,
+    pub(crate) tracker: Tracker,
     /// Force a full image every N checkpoints (0 = only the first is
     /// full). Ignored for non-incremental trackers.
-    pub full_every: u64,
-    pub compress: bool,
-    pub save_file_contents: bool,
+    pub(crate) full_every: u64,
+    pub(crate) compress: bool,
+    pub(crate) save_file_contents: bool,
     /// Delete images older than the latest full after taking a full.
-    pub prune: bool,
-    pub node: u32,
+    pub(crate) prune: bool,
+    pub(crate) node: u32,
     seq: u64,
     last_full_seq: u64,
     target_pid: Option<Pid>,
 }
 
+/// Builder for [`KernelCkptEngine`]. The four constructor arguments are
+/// the mandatory identity of an engine; everything else defaults to the
+/// common configuration (compressing, pruning, full-first-then-incremental)
+/// and is overridden fluently:
+///
+/// ```
+/// # use ckpt_core::mechanism::KernelCkptEngine;
+/// # use ckpt_core::tracker::TrackerKind;
+/// # use ckpt_core::shared_storage;
+/// # use ckpt_storage::LocalDisk;
+/// let engine = KernelCkptEngine::builder(
+///         "epckpt", "job7", shared_storage(LocalDisk::new(1 << 30)),
+///         TrackerKind::KernelPage)
+///     .full_every(8)
+///     .compress(false)
+///     .build();
+/// ```
+#[must_use = "the builder does nothing until .build() is called"]
+pub struct KernelCkptEngineBuilder {
+    engine: KernelCkptEngine,
+}
+
+impl KernelCkptEngineBuilder {
+    /// Force a full image every `n` checkpoints (0 = only the first is
+    /// full). Ignored for non-incremental trackers.
+    pub fn full_every(mut self, n: u64) -> Self {
+        self.engine.full_every = n;
+        self
+    }
+
+    /// Compress pages in the image (default `true`).
+    pub fn compress(mut self, on: bool) -> Self {
+        self.engine.compress = on;
+        self
+    }
+
+    /// Snapshot regular-file contents into the image (default `false`;
+    /// needed for migration across nodes without a shared filesystem).
+    pub fn save_file_contents(mut self, on: bool) -> Self {
+        self.engine.save_file_contents = on;
+        self
+    }
+
+    /// Delete images superseded by a new full checkpoint (default `true`).
+    pub fn prune(mut self, on: bool) -> Self {
+        self.engine.prune = on;
+        self
+    }
+
+    /// The node id stamped into image headers (default 0).
+    pub fn node(mut self, node: u32) -> Self {
+        self.engine.node = node;
+        self
+    }
+
+    pub fn build(self) -> KernelCkptEngine {
+        self.engine
+    }
+}
+
 impl KernelCkptEngine {
+    /// Start building an engine; see [`KernelCkptEngineBuilder`].
+    pub fn builder(
+        mechanism_name: &str,
+        job: &str,
+        storage: SharedStorage,
+        tracker: TrackerKind,
+    ) -> KernelCkptEngineBuilder {
+        KernelCkptEngineBuilder {
+            engine: KernelCkptEngine {
+                mechanism_name: mechanism_name.to_string(),
+                job: job.to_string(),
+                storage,
+                tracker: Tracker::new(tracker),
+                full_every: 0,
+                compress: true,
+                save_file_contents: false,
+                prune: true,
+                node: 0,
+                seq: 0,
+                last_full_seq: 0,
+                target_pid: None,
+            },
+        }
+    }
+
+    /// An engine with the default configuration — shorthand for
+    /// [`KernelCkptEngine::builder`]`(..).build()`.
     pub fn new(
         mechanism_name: &str,
         job: &str,
         storage: SharedStorage,
         tracker: TrackerKind,
     ) -> Self {
-        KernelCkptEngine {
-            mechanism_name: mechanism_name.to_string(),
-            job: job.to_string(),
-            storage,
-            tracker: Tracker::new(tracker),
-            full_every: 0,
-            compress: true,
-            save_file_contents: false,
-            prune: true,
-            node: 0,
-            seq: 0,
-            last_full_seq: 0,
-            target_pid: None,
-        }
+        Self::builder(mechanism_name, job, storage, tracker).build()
     }
 
     pub fn seq(&self) -> u64 {
         self.seq
+    }
+
+    pub fn mechanism_name(&self) -> &str {
+        &self.mechanism_name
+    }
+
+    pub fn storage(&self) -> &SharedStorage {
+        &self.storage
+    }
+
+    pub fn tracker(&self) -> &Tracker {
+        &self.tracker
     }
 
     pub fn target(&self) -> Option<Pid> {
@@ -171,7 +261,16 @@ impl KernelCkptEngine {
             && self.tracker.is_armed()
             && !(self.full_every > 0 && next_seq - self.last_full_seq >= self.full_every);
         let (opts, logical_dirty) = if incremental_ok {
+            let walk0 = k.now();
             let collected = self.tracker.collect(k, pid)?;
+            k.trace.phase(
+                &self.mechanism_name,
+                Phase::Walk,
+                pid.0,
+                next_seq,
+                k.now(),
+                k.now() - walk0,
+            );
             let mut o = CaptureOptions::incremental(
                 &self.mechanism_name,
                 next_seq,
@@ -190,7 +289,16 @@ impl KernelCkptEngine {
             (o, 0)
         };
         let kind = opts.kind;
+        let cap0 = k.now();
         let img = capture_image(k, pid, &opts)?;
+        k.trace.phase(
+            &self.mechanism_name,
+            Phase::Capture,
+            pid.0,
+            next_seq,
+            k.now(),
+            k.now() - cap0,
+        );
         let pages_saved = img.page_count() as u64;
         let memory_bytes = img.memory_bytes();
         let logical = if kind == ImageKind::Full {
@@ -207,20 +315,61 @@ impl KernelCkptEngine {
                 .map_err(|e| SimError::Usage(format!("store failed: {e}")))?;
             encoded_len = receipt.bytes;
             storage_ns = receipt.time_ns;
+            let label = storage.label();
+            drop(storage);
+            k.trace
+                .storage(StorageOp::Store, &label, encoded_len, storage_ns);
         }
-        let t = k.cost.memcpy(encoded_len) + storage_ns;
-        k.charge(t);
+        let compress_ns = k.cost.memcpy(encoded_len);
+        k.charge(compress_ns + storage_ns);
+        k.trace.phase(
+            &self.mechanism_name,
+            Phase::Compress,
+            pid.0,
+            next_seq,
+            k.now() - storage_ns,
+            compress_ns,
+        );
+        k.trace.phase(
+            &self.mechanism_name,
+            Phase::Store,
+            pid.0,
+            next_seq,
+            k.now(),
+            storage_ns,
+        );
         self.seq = next_seq;
         if kind == ImageKind::Full {
             self.last_full_seq = next_seq;
             if self.prune {
+                let prune0 = k.now();
                 let mut storage = self.storage.lock();
+                let label = storage.label();
                 let _ = prune_before(storage.as_mut(), &self.job, pid.0, next_seq);
+                drop(storage);
+                k.trace.storage(StorageOp::Delete, &label, 0, 0);
+                k.trace.phase(
+                    &self.mechanism_name,
+                    Phase::Prune,
+                    pid.0,
+                    next_seq,
+                    k.now(),
+                    k.now() - prune0,
+                );
             }
         }
         // Begin the next tracking interval.
         if self.tracker.kind().supports_incremental() {
+            let arm0 = k.now();
             self.tracker.arm(k, pid)?;
+            k.trace.phase(
+                &self.mechanism_name,
+                Phase::Rearm,
+                pid.0,
+                next_seq,
+                k.now(),
+                k.now() - arm0,
+            );
         }
         let total_ns = k.now() - t0;
         Ok(CkptOutcome {
@@ -262,7 +411,7 @@ pub fn restart_from_shared(
     pid_sel: RestorePid,
 ) -> SimResult<RestartOutcome> {
     let t0 = k.now();
-    let (full, load_ns, images_loaded) = {
+    let (full, load_ns, images_loaded, storage_label) = {
         let storage = storage.lock();
         let keys = storage
             .list()
@@ -271,19 +420,20 @@ pub fn restart_from_shared(
             .count() as u64;
         let (img, t) = load_latest_chain(&**storage, job, target.0, &k.cost)
             .map_err(|e| SimError::Usage(format!("restart load failed: {e}")))?;
-        (img, t, keys)
+        (img, t, keys, storage.label())
     };
     k.charge(load_ns);
+    // Stored encodings are not retained after chain reconstruction; report
+    // the decoded image size.
+    k.trace
+        .storage(StorageOp::Load, &storage_label, full.memory_bytes(), load_ns);
     let pages = full.page_count() as u64;
     let work = full.work_done;
-    let pid = restore_image(
-        k,
-        &full,
-        &RestoreOptions {
-            pid: pid_sel,
-            run: true,
-        },
-    )?;
+    let seq = full.header.seq;
+    let mechanism = full.header.mechanism.clone();
+    let pid = restore_image(k, &full, &RestoreOptions::fresh_running(pid_sel))?;
+    k.trace
+        .phase(&mechanism, Phase::Restore, pid.0, seq, k.now(), k.now() - t0);
     Ok(RestartOutcome {
         pid,
         pages_restored: pages,
@@ -291,6 +441,28 @@ pub fn restart_from_shared(
         images_loaded,
         work_done: work,
     })
+}
+
+/// Attribute the *unattributed remainder* of one checkpoint span to
+/// [`Phase::Other`], so a mechanism's per-phase trace totals reconcile
+/// exactly with its end-to-end [`CkptOutcome`] numbers. `before` is
+/// `k.trace.mechanism_total(name)` sampled when the span began.
+pub(crate) fn emit_phase_residual(
+    k: &mut Kernel,
+    name: &str,
+    pid: Pid,
+    seq: u64,
+    span_ns: u64,
+    before: u64,
+) {
+    if !k.trace.is_enabled() {
+        return;
+    }
+    let attributed = k.trace.mechanism_total(name).saturating_sub(before);
+    if span_ns > attributed {
+        k.trace
+            .phase(name, Phase::Other, pid.0, seq, k.now(), span_ns - attributed);
+    }
 }
 
 /// Charge one user→kernel→user crossing that is *initiated from user space

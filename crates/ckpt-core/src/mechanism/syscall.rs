@@ -26,6 +26,7 @@ use crate::report::{CkptOutcome, RestartOutcome};
 use crate::tracker::TrackerKind;
 use crate::{RestorePid, SharedStorage};
 use simos::module::KernelModule;
+use simos::trace::Phase;
 use simos::types::{Errno, Pid, SimError, SimResult, SysResult};
 use simos::Kernel;
 use std::any::Any;
@@ -72,22 +73,44 @@ impl CkptSyscallModule {
     }
 
     fn do_checkpoint(&mut self, k: &mut Kernel, target: Pid, in_context: bool) -> SysResult {
+        let trace_before = k.trace.mechanism_total(&self.name);
+        let t0 = k.now();
+        let seq = self.engine.seq() + 1;
         // In-context (self) checkpoints need no freeze: the process is
         // executing this very code. By-pid checkpoints must stop the
         // target first.
         let froze = if !in_context {
+            let f0 = k.now();
             k.freeze_process(target).map_err(|_| Errno::ESRCH)?;
+            k.trace
+                .phase(&self.name, Phase::Freeze, target.0, seq, k.now(), k.now() - f0);
             true
         } else {
+            // Executing in the target's context — quiescence is free.
+            k.trace
+                .phase(&self.name, Phase::Freeze, target.0, seq, k.now(), 0);
             false
         };
         let res = self.engine.checkpoint_in_kernel(k, target);
         if froze {
             let _ = k.thaw_process(target);
         }
+        k.trace
+            .phase(&self.name, Phase::Resume, target.0, seq, k.now(), 0);
         match res {
-            Ok(outcome) => {
+            Ok(mut outcome) => {
                 let seq = outcome.seq;
+                // The syscall's span includes the freeze/thaw bracket, so
+                // the per-phase trace costs sum to the reported total.
+                outcome.total_ns = k.now() - t0;
+                super::emit_phase_residual(
+                    k,
+                    &self.name,
+                    target,
+                    seq,
+                    outcome.total_ns,
+                    trace_before,
+                );
                 self.outcomes.push(outcome);
                 Ok(seq)
             }
@@ -246,8 +269,8 @@ impl Mechanism for SyscallMechanism {
         super::restart_from_shared(&self.storage, &self.job, target, k, pid)
     }
 
-    fn outcomes(&self, k: &mut Kernel) -> Vec<CkptOutcome> {
-        k.with_module_mut::<CkptSyscallModule, _>(&self.module_name, |m, _| m.outcomes.clone())
+    fn outcomes(&self, k: &Kernel) -> Vec<CkptOutcome> {
+        k.with_module::<CkptSyscallModule, _>(&self.module_name, |m| m.outcomes.clone())
             .unwrap_or_default()
     }
 }

@@ -218,8 +218,8 @@ impl Mechanism for UserLevelMechanism {
         Ok(out)
     }
 
-    fn outcomes(&self, k: &mut Kernel) -> Vec<CkptOutcome> {
-        k.with_agent_mut::<UserCkptAgent, _>(&self.agent_name, |a, _| a.outcomes.clone())
+    fn outcomes(&self, k: &Kernel) -> Vec<CkptOutcome> {
+        k.with_agent::<UserCkptAgent, _>(&self.agent_name, |a| a.outcomes.clone())
             .unwrap_or_default()
     }
 }

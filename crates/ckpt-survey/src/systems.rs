@@ -399,7 +399,7 @@ mod tests {
                     // ...but produce checkpoints on its own.
                     k.run_for(1_000_000_000).unwrap();
                     assert!(
-                        !mech.outcomes(&mut k).is_empty(),
+                        !mech.outcomes(&k).is_empty(),
                         "{id:?} never self-checkpointed"
                     );
                 }

@@ -22,6 +22,7 @@ use crate::signal::{
 use crate::stats::KernelStats;
 use crate::syscall::{MaskHow, Syscall, Whence};
 use crate::timer::{TimerAction, TimerId, TimerWheel};
+use crate::trace::{KernelEvent, TraceHandle};
 use crate::types::{
     sysret_encode, Errno, FaultKind, Fd, KtId, OfdId, Pid, SimError, SimResult, SysResult, Task,
 };
@@ -74,6 +75,10 @@ pub struct Kernel {
     /// kernel-level checkpoint, the CHPOX scheme).
     signal_claims: BTreeMap<u32, String>,
     pub stats: KernelStats,
+    /// Structured event sink ([`crate::trace`]); the default no-op sink
+    /// rejects events on one atomic load, so instrumentation stays free
+    /// unless a recording handle is installed with [`Kernel::set_trace`].
+    pub trace: TraceHandle,
     next_tick_at: u64,
 }
 
@@ -101,8 +106,16 @@ impl Kernel {
             timers: TimerWheel::new(),
             signal_claims: BTreeMap::new(),
             stats: KernelStats::default(),
+            trace: TraceHandle::disabled(),
             next_tick_at: tick,
         }
+    }
+
+    /// Install a trace sink (usually [`TraceHandle::recording`]). The same
+    /// handle may be shared with storage backends and other kernels to
+    /// collect one cluster-wide trace.
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
     }
 
     // ------------------------------------------------------------------
@@ -319,6 +332,7 @@ impl Kernel {
         }
         p.frozen_for_ckpt = true;
         self.runqueue.dequeue(Task::Process(pid));
+        self.trace.kernel(KernelEvent::Freeze, self.clock, 0);
         Ok(())
     }
 
@@ -335,6 +349,7 @@ impl Kernel {
         if runnable {
             self.runqueue.enqueue(Task::Process(pid), policy);
         }
+        self.trace.kernel(KernelEvent::Thaw, self.clock, 0);
         Ok(())
     }
 
@@ -363,6 +378,7 @@ impl Kernel {
         };
         self.charge(cost);
         self.stats.forks += 1;
+        self.trace.kernel(KernelEvent::Fork, self.clock, cost);
         // Arm COW accounting on the parent.
         {
             let p = self.procs.get_mut(&parent.0).expect("parent exists");
@@ -454,6 +470,18 @@ impl Kernel {
         r
     }
 
+    /// Read-only downcasting module accessor. Unlike
+    /// [`Kernel::with_module_mut`] the module stays in the registry, so
+    /// this works on `&Kernel` — mechanism `outcomes` run through here.
+    pub fn with_module<T: KernelModule, R>(
+        &self,
+        name: &str,
+        f: impl FnOnce(&T) -> R,
+    ) -> Option<R> {
+        let m = self.modules.get(name)?.as_ref()?;
+        m.as_any().downcast_ref::<T>().map(f)
+    }
+
     /// Register a user-level agent (checkpoint library code).
     pub fn register_agent(&mut self, agent: Box<dyn UserAgent>) -> SimResult<()> {
         let name = agent.name().to_string();
@@ -488,6 +516,16 @@ impl Kernel {
             *slot = Some(a);
         }
         r
+    }
+
+    /// Read-only downcasting agent accessor (see [`Kernel::with_module`]).
+    pub fn with_agent<T: UserAgent, R>(
+        &self,
+        name: &str,
+        f: impl FnOnce(&T) -> R,
+    ) -> Option<R> {
+        let a = self.agents.get(name)?.as_ref()?;
+        a.as_any().downcast_ref::<T>().map(f)
     }
 
     /// Allocate an extension-syscall slot owned by `module`.
@@ -545,6 +583,8 @@ impl Kernel {
             let t = self.cost.mm_switch();
             self.charge(t);
             self.stats.mm_switches += 1;
+            self.trace.kernel(KernelEvent::MmSwitch, self.clock, t);
+            self.trace.kernel(KernelEvent::TlbFlush, self.clock, 0);
             self.active_mm = Some(pid);
         }
         Ok(())
@@ -608,6 +648,8 @@ impl Kernel {
                     self.stats.signals_delivered += 1;
                     let t = self.cost.signal_deliver_ns;
                     self.charge(t);
+                    self.trace
+                        .kernel(KernelEvent::SignalDelivered, self.clock, t);
                     let now = self.clock;
                     let p = self.procs.get_mut(&pid.0).expect("exists");
                     if uses_non_reentrant && p.sig.non_reentrant_depth > 0 {
@@ -738,6 +780,13 @@ impl Kernel {
                             self.stats.cow_faults += faults;
                             let t = faults * self.cost.cow_fault_ns;
                             self.charge(t);
+                            for _ in 0..faults {
+                                self.trace.kernel(
+                                    KernelEvent::CowFault,
+                                    self.clock,
+                                    self.cost.cow_fault_ns,
+                                );
+                            }
                         }
                     }
                     let p = self.procs.get_mut(&pid.0).expect("exists");
@@ -769,6 +818,7 @@ impl Kernel {
                     self.stats.page_faults += 1;
                     let t = self.cost.page_fault_trap_ns;
                     self.charge(t);
+                    self.trace.kernel(KernelEvent::PageFault, self.clock, t);
                     let pn = faddr / PAGE_SIZE;
                     let track = self.procs.get(&pid.0).expect("exists").mem.track;
                     match track {
@@ -815,6 +865,7 @@ impl Kernel {
                     self.stats.page_faults += 1;
                     let t = self.cost.page_fault_trap_ns;
                     self.charge(t);
+                    self.trace.kernel(KernelEvent::PageFault, self.clock, t);
                     return self.fault_to_segv(pid, faddr, kind);
                 }
             }
@@ -839,6 +890,7 @@ impl Kernel {
                 self.stats.page_faults += 1;
                 let t = self.cost.page_fault_trap_ns;
                 self.charge(t);
+                self.trace.kernel(KernelEvent::PageFault, self.clock, t);
                 self.fault_to_segv(pid, faddr, kind)
             }
         }
@@ -868,10 +920,12 @@ impl Kernel {
             self.stats.interposed_syscalls += 1;
         }
         self.charge(t);
+        self.trace.kernel(KernelEvent::SyscallEntry, self.clock, t);
         let ret = self.syscall_body(pid, &call, interposes);
         if matches!(call, Syscall::Ext { .. }) {
             self.stats.ext_syscalls += 1;
         }
+        self.trace.kernel(KernelEvent::SyscallExit, self.clock, 0);
         ret
     }
 
@@ -1317,6 +1371,8 @@ impl Kernel {
                 self.stats.context_switches += 1;
                 let t = self.cost.context_switch_ns;
                 self.charge(t);
+                self.trace
+                    .kernel(KernelEvent::ContextSwitch, self.clock, t);
             }
             self.current = Some(task);
             let slice_end = deadline
@@ -1402,6 +1458,8 @@ impl Kernel {
             let t = self.cost.mm_switch();
             self.charge(t);
             self.stats.mm_switches += 1;
+            self.trace.kernel(KernelEvent::MmSwitch, self.clock, t);
+            self.trace.kernel(KernelEvent::TlbFlush, self.clock, 0);
             self.active_mm = Some(pid);
         }
         // Kernel→user transition: deliver pending signals.

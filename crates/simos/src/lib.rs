@@ -62,6 +62,7 @@ pub mod signal;
 pub mod stats;
 pub mod syscall;
 pub mod timer;
+pub mod trace;
 pub mod types;
 pub mod userrt;
 pub mod vm;

@@ -138,16 +138,29 @@ impl RunQueue {
     }
 
     /// Account a tick of CPU used by `ran`: its dynamic bonus decays while
-    /// every other waiting `Other` task ages upward. FIFO entries are
-    /// unaffected.
+    /// every other waiting `Other` task ages upward, and the runner rotates
+    /// to the back of its priority class (round-robin among equals —
+    /// without this, once several waiters saturate at `MAX_DYN_BONUS` the
+    /// two oldest entries ping-pong on the enqueue-order tie-break and
+    /// everything behind them starves). FIFO entries are unaffected: a
+    /// FIFO task runs until it yields the queue position itself.
     pub fn tick(&mut self, ran: Task) {
+        let mut rotate = false;
         for e in self.entries.iter_mut() {
             if let SchedPolicy::Other { .. } = e.policy {
                 if e.task == ran {
                     e.dyn_bonus = (e.dyn_bonus - 1).max(-MAX_DYN_BONUS);
+                    rotate = true;
                 } else {
                     e.dyn_bonus = (e.dyn_bonus + 1).min(MAX_DYN_BONUS);
                 }
+            }
+        }
+        if rotate {
+            self.seq += 1;
+            let seq = self.seq;
+            if let Some(e) = self.entries.iter_mut().find(|e| e.task == ran) {
+                e.enq_seq = seq;
             }
         }
     }
@@ -226,6 +239,24 @@ mod tests {
         }
         let snap = rq.snapshot();
         assert_eq!(snap[0].2, BASE_PRIO + MAX_DYN_BONUS); // fully decayed
+    }
+
+    #[test]
+    fn saturated_queue_does_not_starve_late_arrivals() {
+        // Three equal-nice tasks driven to bonus saturation: every task must
+        // keep getting quanta (the runner rotates behind its equals), not
+        // just the two oldest entries.
+        let mut rq = RunQueue::new();
+        rq.enqueue(p(1), SchedPolicy::Other { nice: 0 });
+        rq.enqueue(p(2), SchedPolicy::Other { nice: 0 });
+        rq.enqueue(Task::KThread(KtId(7)), SchedPolicy::Other { nice: 0 });
+        let mut ran = std::collections::BTreeSet::new();
+        for _ in 0..100 {
+            let t = rq.pick_next().unwrap();
+            ran.insert(format!("{t:?}"));
+            rq.tick(t);
+        }
+        assert_eq!(ran.len(), 3, "all three tasks must run: {ran:?}");
     }
 
     #[test]

@@ -8,8 +8,8 @@
 //! cargo run --release --example autonomic_daemon
 //! ```
 
-use ckpt_restart::core::autonomic::{self, AutonomicConfig, AutonomicDaemon};
-use ckpt_restart::core::shared_storage;
+use ckpt_restart::ckpt::autonomic::{self, AutonomicConfig, AutonomicDaemon};
+use ckpt_restart::ckpt::shared_storage;
 use ckpt_restart::simos::apps::{AppParams, NativeKind};
 use ckpt_restart::simos::cost::CostModel;
 use ckpt_restart::simos::Kernel;

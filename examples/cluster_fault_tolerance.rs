@@ -9,7 +9,7 @@
 use ckpt_restart::cluster::{
     Cluster, Coordinator, FailureConfig, JobInterrupt, MpiJob, NodeId,
 };
-use ckpt_restart::core::TrackerKind;
+use ckpt_restart::ckpt::TrackerKind;
 use ckpt_restart::simos::apps::{AppParams, NativeKind};
 use ckpt_restart::simos::cost::CostModel;
 

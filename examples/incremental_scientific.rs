@@ -7,8 +7,8 @@
 //! cargo run --release --example incremental_scientific
 //! ```
 
-use ckpt_restart::core::mechanism::KernelCkptEngine;
-use ckpt_restart::core::{shared_storage, TrackerKind};
+use ckpt_restart::ckpt::mechanism::KernelCkptEngine;
+use ckpt_restart::ckpt::{shared_storage, TrackerKind};
 use ckpt_restart::simos::apps::{AppParams, NativeKind};
 use ckpt_restart::simos::cost::CostModel;
 use ckpt_restart::simos::Kernel;

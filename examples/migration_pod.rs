@@ -7,7 +7,7 @@
 //! ```
 
 use ckpt_restart::cluster::{migrate, Cluster, FailureConfig, MigrationMode, NodeId};
-use ckpt_restart::core::pod::Pod;
+use ckpt_restart::ckpt::pod::Pod;
 use ckpt_restart::simos::apps::{AppParams, NativeKind};
 use ckpt_restart::simos::cost::CostModel;
 use ckpt_restart::simos::fs::OpenFlags;

@@ -5,11 +5,11 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use ckpt_restart::core::mechanism::kthread::{
+use ckpt_restart::ckpt::mechanism::kthread::{
     KernelThreadMechanism, KthreadIface, KthreadVariant,
 };
-use ckpt_restart::core::mechanism::Mechanism;
-use ckpt_restart::core::{shared_storage, RestorePid, TrackerKind};
+use ckpt_restart::ckpt::mechanism::Mechanism;
+use ckpt_restart::ckpt::{shared_storage, RestorePid, TrackerKind};
 use ckpt_restart::simos::apps::{AppParams, NativeKind};
 use ckpt_restart::simos::cost::CostModel;
 use ckpt_restart::simos::signal::Sig;

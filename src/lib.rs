@@ -9,7 +9,7 @@
 //! This facade crate re-exports the workspace members:
 //!
 //! * [`simos`] — the OS substrate (processes, VM, signals, scheduler,
-//!   kernel threads, syscalls, cost model);
+//!   kernel threads, syscalls, cost model, and the [`trace`] subsystem);
 //! * [`ckpt_image`] — the checkpoint image format;
 //! * [`ckpt_storage`] — stable-storage backends with availability
 //!   semantics;
@@ -20,12 +20,45 @@
 //! * [`ckpt_survey`] — the twelve surveyed systems; regenerates the
 //!   paper's Table 1 and Figure 1.
 //!
+//! Most applications only need the [`prelude`]:
+//!
+//! ```
+//! use ckpt_restart::prelude::*;
+//! ```
+//!
 //! See `README.md` for a quickstart and `EXPERIMENTS.md` for the
 //! reproduction results.
 
 pub use ckpt_cluster as cluster;
-pub use ckpt_core as core;
+pub use ckpt_core as ckpt;
 pub use ckpt_image as image;
 pub use ckpt_storage as storage;
 pub use ckpt_survey as survey;
 pub use simos;
+
+/// The structured event/metrics subsystem (`simos::trace`), re-exported at
+/// the workspace facade so instrumentation consumers need only one path.
+pub use simos::trace;
+
+#[deprecated(
+    since = "0.2.0",
+    note = "renamed to `ckpt_restart::ckpt` — `core` shadows the built-in core crate in downstream paths"
+)]
+pub use ckpt_core as core;
+
+/// One-stop imports for the common checkpoint/restart workflow.
+///
+/// Re-exports the mechanism trait and metadata, the kernel-context engine
+/// and its builder, trackers, storage handles, outcome types, the kernel
+/// itself, and the trace subsystem's entry points.
+pub mod prelude {
+    pub use ckpt_core::capture::{CaptureOptions, RestoreOptions, RestorePid};
+    pub use ckpt_core::mechanism::{
+        KernelCkptEngine, KernelCkptEngineBuilder, Mechanism, MechanismInfo,
+    };
+    pub use ckpt_core::report::{CkptOutcome, RestartOutcome};
+    pub use ckpt_core::tracker::{Tracker, TrackerKind};
+    pub use ckpt_core::{shared_storage, SharedStorage};
+    pub use simos::trace::{Phase, TraceHandle, TraceReport};
+    pub use simos::Kernel;
+}

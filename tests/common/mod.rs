@@ -1,0 +1,55 @@
+//! Shared deterministic case generator for the property-style integration
+//! tests. The workspace builds offline, so instead of proptest the tests
+//! drive their invariants with this SplitMix64-based generator: same
+//! property checks, explicit seeds, exhaustively reproducible failures.
+
+// Each test target compiles its own copy of this module and uses a
+// different subset of the generator's methods.
+#![allow(dead_code)]
+
+/// A tiny deterministic generator (SplitMix64).
+pub struct Gen {
+    state: u64,
+}
+
+impl Gen {
+    pub fn new(seed: u64) -> Self {
+        Gen {
+            state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xD1B5_4A32_D192_ED03,
+        }
+    }
+
+    pub fn u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from the half-open range `lo..hi`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi);
+        lo + ((self.u64() as u128 * (hi - lo) as u128) >> 64) as u64
+    }
+
+    pub fn byte(&mut self) -> u8 {
+        (self.u64() >> 56) as u8
+    }
+
+    pub fn flag(&mut self) -> bool {
+        self.u64() & 1 == 1
+    }
+
+    /// A printable ASCII string of length 0..max_len.
+    pub fn ascii(&mut self, max_len: u64) -> String {
+        let n = self.range(0, max_len + 1);
+        (0..n)
+            .map(|_| (self.range(0x20, 0x7F) as u8) as char)
+            .collect()
+    }
+
+    pub fn bytes(&mut self, n: usize) -> Vec<u8> {
+        (0..n).map(|_| self.byte()).collect()
+    }
+}

@@ -6,13 +6,13 @@
 use ckpt_restart::cluster::{
     Cluster, Coordinator, FailureConfig, Gang, GangScheduler, MpiJob, NodeId,
 };
-use ckpt_restart::core::autonomic::{self, AutonomicConfig, AutonomicDaemon};
-use ckpt_restart::core::mechanism::hibernate::{SoftwareSuspend, SuspendMode};
-use ckpt_restart::core::mechanism::kthread::{
+use ckpt_restart::ckpt::autonomic::{self, AutonomicConfig, AutonomicDaemon};
+use ckpt_restart::ckpt::mechanism::hibernate::{SoftwareSuspend, SuspendMode};
+use ckpt_restart::ckpt::mechanism::kthread::{
     KernelThreadMechanism, KthreadIface, KthreadVariant,
 };
-use ckpt_restart::core::mechanism::Mechanism;
-use ckpt_restart::core::{shared_storage, RestorePid, TrackerKind};
+use ckpt_restart::ckpt::mechanism::Mechanism;
+use ckpt_restart::ckpt::{shared_storage, RestorePid, TrackerKind};
 use ckpt_restart::simos::apps::{AppParams, NativeKind};
 use ckpt_restart::simos::cost::CostModel;
 use ckpt_restart::simos::Kernel;
@@ -87,7 +87,7 @@ fn autonomic_checkpoints_to_remote_storage_survive_node_loss() {
     cluster.inject_failure(NodeId(0));
     let remote1 = cluster.nodes[1].remote.clone();
     let k1 = cluster.node(NodeId(1)).kernel().unwrap();
-    let r = ckpt_restart::core::mechanism::restart_from_shared(
+    let r = ckpt_restart::ckpt::mechanism::restart_from_shared(
         &remote1,
         "auto",
         pid,

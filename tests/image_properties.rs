@@ -1,194 +1,210 @@
 //! Property tests on the image format: round-trip identity, corruption
 //! detection, compression reversibility, and incremental-chain algebra.
+//!
+//! Cases are generated deterministically by [`common::Gen`] — every run
+//! covers the same corpus, and a failing seed is directly reproducible.
+
+mod common;
 
 use ckpt_restart::image::{
-    decode, encode, encode_page, decode_page, reconstruct, CheckpointImage, FdRecord,
+    decode, decode_page, encode, encode_page, reconstruct, CheckpointImage, FdRecord,
     FileContentRecord, ImageHeader, ImageKind, PageRecord, PolicyRecord, ProgramRecord,
     RegsRecord, SigActionRecord, SigRecord, TimerRecord, VmaRecord,
 };
-use proptest::prelude::*;
+use common::Gen;
 
-fn arb_page() -> impl Strategy<Value = Vec<u8>> {
-    prop_oneof![
-        Just(vec![0u8; 4096]),
-        any::<u8>().prop_map(|b| vec![b; 4096]),
-        proptest::collection::vec(any::<u8>(), 4096),
-        (any::<u8>(), 0usize..4000).prop_map(|(b, n)| {
+const CASES: u64 = 64;
+
+fn arb_page(g: &mut Gen) -> Vec<u8> {
+    match g.range(0, 4) {
+        0 => vec![0u8; 4096],
+        1 => vec![g.byte(); 4096],
+        2 => g.bytes(4096),
+        _ => {
             let mut v = vec![0u8; 4096];
+            let n = g.range(0, 4000) as usize;
+            let b = g.byte();
             v[n..n + 64].fill(b);
             v
-        }),
-    ]
+        }
+    }
 }
 
-fn arb_image() -> impl Strategy<Value = CheckpointImage> {
-    (
-        any::<u32>(),
-        1u64..1000,
-        proptest::collection::vec((0u64..4096, arb_page()), 0..12),
-        proptest::collection::vec((0u32..64, ".*", 0u64..10_000, any::<u8>(), 0u32..4), 0..6),
-        proptest::collection::vec((1u32..40, 0u8..6, any::<u64>(), any::<bool>()), 0..5),
-        any::<u64>(),
-        proptest::collection::vec((0u64..1_000_000, 0u64..1_000_000, 1u32..40), 0..3),
-    )
-        .prop_map(|(pid, seq, pages, fds, actions, mask, timers)| CheckpointImage {
-            header: ImageHeader {
-                pid,
-                seq,
-                parent_seq: seq.saturating_sub(1),
-                kind: if seq % 2 == 0 {
-                    ImageKind::Incremental
-                } else {
-                    ImageKind::Full
-                },
-                taken_at_ns: seq * 17,
-                mechanism: "prop".into(),
-                node: (pid % 16),
-            },
-            regs: RegsRecord {
-                pc: seq * 4,
-                gpr: [seq; 16],
-            },
-            brk: seq * 4096,
-            work_done: seq * 3,
-            policy: PolicyRecord {
-                tag: (seq % 2) as u8,
-                value: (seq % 19) as i32,
-            },
-            vmas: vec![VmaRecord {
-                start: 0x40_0000,
-                end: 0x40_1000,
-                prot: 5,
-                kind: 0,
-                name: "[text]".into(),
-            }],
-            pages: pages
-                .into_iter()
-                .map(|(no, data)| PageRecord::capture(no, &data))
-                .collect(),
-            fds: fds
-                .into_iter()
-                .map(|(fd, path, offset, flags, group)| FdRecord {
-                    fd,
-                    path,
-                    offset,
-                    flags,
-                    group,
-                })
-                .collect(),
-            files: vec![FileContentRecord {
-                path: "/tmp/x".into(),
-                data: vec![1, 2, 3],
-            }],
-            sig: SigRecord {
-                actions: actions
-                    .into_iter()
-                    .map(|(sig, kind, param, non_reentrant)| SigActionRecord {
-                        sig,
-                        kind,
-                        param,
-                        non_reentrant,
-                    })
-                    .collect(),
-                pending: vec![10, 14],
-                mask,
-                in_handler: (seq % 3) as u32,
-                non_reentrant_depth: (seq % 2) as u32,
-            },
-            timers: timers
-                .into_iter()
-                .map(|(in_ns, period_ns, sig)| TimerRecord {
-                    in_ns,
-                    period_ns,
-                    sig,
-                })
-                .collect(),
-            program: ProgramRecord::Native {
-                kind: (seq % 5) as u8,
-                mem_bytes: 65536,
-                total_steps: 100,
-                writes_per_step: 8,
-                write_stride_pages: 4,
-                seed: seq,
-            },
+fn arb_image(g: &mut Gen) -> CheckpointImage {
+    let pid = g.u64() as u32;
+    let seq = g.range(1, 1000);
+    let pages: Vec<(u64, Vec<u8>)> = (0..g.range(0, 12))
+        .map(|_| (g.range(0, 4096), arb_page(g)))
+        .collect();
+    let fds: Vec<FdRecord> = (0..g.range(0, 6))
+        .map(|_| FdRecord {
+            fd: g.range(0, 64) as u32,
+            path: g.ascii(12),
+            offset: g.range(0, 10_000),
+            flags: g.byte(),
+            group: g.range(0, 4) as u32,
         })
+        .collect();
+    let actions: Vec<SigActionRecord> = (0..g.range(0, 5))
+        .map(|_| SigActionRecord {
+            sig: g.range(1, 40) as u32,
+            kind: g.range(0, 6) as u8,
+            param: g.u64(),
+            non_reentrant: g.flag(),
+        })
+        .collect();
+    let timers: Vec<TimerRecord> = (0..g.range(0, 3))
+        .map(|_| TimerRecord {
+            in_ns: g.range(0, 1_000_000),
+            period_ns: g.range(0, 1_000_000),
+            sig: g.range(1, 40) as u32,
+        })
+        .collect();
+    CheckpointImage {
+        header: ImageHeader {
+            pid,
+            seq,
+            parent_seq: seq.saturating_sub(1),
+            kind: if seq.is_multiple_of(2) {
+                ImageKind::Incremental
+            } else {
+                ImageKind::Full
+            },
+            taken_at_ns: seq * 17,
+            mechanism: "prop".into(),
+            node: pid % 16,
+        },
+        regs: RegsRecord {
+            pc: seq * 4,
+            gpr: [seq; 16],
+        },
+        brk: seq * 4096,
+        work_done: seq * 3,
+        policy: PolicyRecord {
+            tag: (seq % 2) as u8,
+            value: (seq % 19) as i32,
+        },
+        vmas: vec![VmaRecord {
+            start: 0x40_0000,
+            end: 0x40_1000,
+            prot: 5,
+            kind: 0,
+            name: "[text]".into(),
+        }],
+        pages: pages
+            .into_iter()
+            .map(|(no, data)| PageRecord::capture(no, &data))
+            .collect(),
+        fds,
+        files: vec![FileContentRecord {
+            path: "/tmp/x".into(),
+            data: vec![1, 2, 3],
+        }],
+        sig: SigRecord {
+            actions,
+            pending: vec![10, 14],
+            mask: g.u64(),
+            in_handler: (seq % 3) as u32,
+            non_reentrant_depth: (seq % 2) as u32,
+        },
+        timers,
+        program: ProgramRecord::Native {
+            kind: (seq % 5) as u8,
+            mem_bytes: 65536,
+            total_steps: 100,
+            writes_per_step: 8,
+            write_stride_pages: 4,
+            seed: seq,
+        },
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
-
-    #[test]
-    fn encode_decode_is_identity(img in arb_image()) {
+#[test]
+fn encode_decode_is_identity() {
+    for case in 0..CASES {
+        let mut g = Gen::new(case);
+        let img = arb_image(&mut g);
         let bytes = encode(&img);
         let back = decode(&bytes).unwrap();
-        prop_assert_eq!(back, img);
+        assert_eq!(back, img, "round trip diverged for case {case}");
     }
+}
 
-    #[test]
-    fn any_corruption_is_detected_or_decodes_differently(
-        img in arb_image(),
-        flip in any::<proptest::sample::Index>(),
-    ) {
+#[test]
+fn any_corruption_is_detected_or_decodes_differently() {
+    for case in 0..CASES {
+        let mut g = Gen::new(1_000 + case);
+        let img = arb_image(&mut g);
         let bytes = encode(&img);
-        let bit = flip.index(bytes.len() * 8);
+        let bit = g.range(0, bytes.len() as u64 * 8) as usize;
         let mut corrupted = bytes.clone();
         corrupted[bit / 8] ^= 1 << (bit % 8);
         // With a CRC this must always be an error, never a silently
         // different image.
-        prop_assert!(decode(&corrupted).is_err(), "bit {} undetected", bit);
+        assert!(
+            decode(&corrupted).is_err(),
+            "case {case}: bit {bit} undetected"
+        );
     }
+}
 
-    #[test]
-    fn truncation_is_always_detected(img in arb_image(), cut in any::<proptest::sample::Index>()) {
+#[test]
+fn truncation_is_always_detected() {
+    for case in 0..CASES {
+        let mut g = Gen::new(2_000 + case);
+        let img = arb_image(&mut g);
         let bytes = encode(&img);
-        let n = cut.index(bytes.len());
-        prop_assert!(decode(&bytes[..n]).is_err());
+        let n = g.range(0, bytes.len() as u64) as usize;
+        assert!(decode(&bytes[..n]).is_err(), "case {case}: cut at {n}");
     }
+}
 
-    #[test]
-    fn page_compression_round_trips(page in arb_page()) {
+#[test]
+fn page_compression_round_trips() {
+    for case in 0..CASES {
+        let mut g = Gen::new(3_000 + case);
+        let page = arb_page(&mut g);
         let (enc, payload) = encode_page(&page);
         let back = decode_page(enc, &payload, 4096).unwrap();
-        prop_assert_eq!(back, page);
+        assert_eq!(back, page, "page compression diverged for case {case}");
     }
+}
 
-    #[test]
-    fn chain_reconstruction_pages_are_last_writer_wins(
-        base_fill in any::<u8>(),
-        deltas in proptest::collection::vec(
-            proptest::collection::vec((0u64..8, any::<u8>()), 1..4),
-            0..4,
-        ),
-    ) {
+#[test]
+fn chain_reconstruction_pages_are_last_writer_wins() {
+    let mk = |seq: u64, parent: u64, kind: ImageKind, pages: Vec<(u64, u8)>| CheckpointImage {
+        header: ImageHeader {
+            pid: 1,
+            seq,
+            parent_seq: parent,
+            kind,
+            taken_at_ns: seq,
+            mechanism: "t".into(),
+            node: 0,
+        },
+        regs: RegsRecord::default(),
+        brk: 0,
+        work_done: seq,
+        policy: PolicyRecord { tag: 0, value: 0 },
+        vmas: vec![],
+        pages: pages
+            .into_iter()
+            .map(|(no, fill)| PageRecord::capture(no, &vec![fill; 4096]))
+            .collect(),
+        fds: vec![],
+        files: vec![],
+        sig: SigRecord::default(),
+        timers: vec![],
+        program: ProgramRecord::Vm {
+            name: "t".into(),
+            text: vec![0],
+        },
+    };
+    for case in 0..CASES {
+        let mut g = Gen::new(4_000 + case);
+        let base_fill = g.byte();
         // Build full + incrementals and check reconstruct against a naive
         // model (BTreeMap overlay).
-        let mk = |seq: u64, parent: u64, kind: ImageKind, pages: Vec<(u64, u8)>| {
-            CheckpointImage {
-                header: ImageHeader {
-                    pid: 1,
-                    seq,
-                    parent_seq: parent,
-                    kind,
-                    taken_at_ns: seq,
-                    mechanism: "t".into(),
-                    node: 0,
-                },
-                regs: RegsRecord::default(),
-                brk: 0,
-                work_done: seq,
-                policy: PolicyRecord { tag: 0, value: 0 },
-                vmas: vec![],
-                pages: pages
-                    .into_iter()
-                    .map(|(no, fill)| PageRecord::capture(no, &vec![fill; 4096]))
-                    .collect(),
-                fds: vec![],
-                files: vec![],
-                sig: SigRecord::default(),
-                timers: vec![],
-                program: ProgramRecord::Vm { name: "t".into(), text: vec![0] },
-            }
-        };
         let mut model: std::collections::BTreeMap<u64, u8> =
             (0u64..8).map(|i| (i, base_fill)).collect();
         let mut chain = vec![mk(
@@ -197,12 +213,15 @@ proptest! {
             ImageKind::Full,
             (0u64..8).map(|i| (i, base_fill)).collect(),
         )];
-        for (i, delta) in deltas.iter().enumerate() {
-            let seq = i as u64 + 2;
-            for (no, fill) in delta {
+        for i in 0..g.range(0, 4) {
+            let delta: Vec<(u64, u8)> = (0..g.range(1, 4))
+                .map(|_| (g.range(0, 8), g.byte()))
+                .collect();
+            let seq = i + 2;
+            for (no, fill) in &delta {
                 model.insert(*no, *fill);
             }
-            chain.push(mk(seq, seq - 1, ImageKind::Incremental, delta.clone()));
+            chain.push(mk(seq, seq - 1, ImageKind::Incremental, delta));
         }
         let full = reconstruct(&chain).unwrap();
         let got: std::collections::BTreeMap<u64, u8> = full
@@ -210,6 +229,6 @@ proptest! {
             .iter()
             .map(|p| (p.page_no, p.expand().unwrap()[0]))
             .collect();
-        prop_assert_eq!(got, model);
+        assert_eq!(got, model, "chain algebra diverged for case {case}");
     }
 }

@@ -2,24 +2,27 @@
 //! mechanism space: **restarting from a checkpoint is indistinguishable
 //! from never having crashed**.
 //!
-//! For a random application, a random checkpoint instant, and a random
-//! mechanism family, the final guest state of crash+restore+continue must
-//! equal the uninterrupted run's.
+//! For a generated application, checkpoint instant, and mechanism family,
+//! the final guest state of crash+restore+continue must equal the
+//! uninterrupted run's. Cases come from the deterministic [`common::Gen`]
+//! corpus, cycling through every family.
 
-use ckpt_restart::core::mechanism::ksignal::KernelSignalMechanism;
-use ckpt_restart::core::mechanism::kthread::{
+mod common;
+
+use ckpt_restart::ckpt::mechanism::ksignal::KernelSignalMechanism;
+use ckpt_restart::ckpt::mechanism::kthread::{
     KernelThreadMechanism, KthreadIface, KthreadVariant,
 };
-use ckpt_restart::core::mechanism::syscall::{SyscallMechanism, SyscallVariant};
-use ckpt_restart::core::mechanism::user_level::{Trigger, UserLevelMechanism};
-use ckpt_restart::core::mechanism::Mechanism;
-use ckpt_restart::core::{shared_storage, RestorePid, TrackerKind};
+use ckpt_restart::ckpt::mechanism::syscall::{SyscallMechanism, SyscallVariant};
+use ckpt_restart::ckpt::mechanism::user_level::{Trigger, UserLevelMechanism};
+use ckpt_restart::ckpt::mechanism::Mechanism;
+use ckpt_restart::ckpt::{shared_storage, RestorePid, TrackerKind};
 use ckpt_restart::simos::apps::{self, AppParams, NativeKind};
 use ckpt_restart::simos::cost::CostModel;
 use ckpt_restart::simos::signal::Sig;
 use ckpt_restart::simos::Kernel;
 use ckpt_restart::storage::LocalDisk;
-use proptest::prelude::*;
+use common::Gen;
 
 #[derive(Debug, Clone, Copy)]
 enum Family {
@@ -30,33 +33,27 @@ enum Family {
     KthreadProc,
 }
 
-fn family_strategy() -> impl Strategy<Value = Family> {
-    prop_oneof![
-        Just(Family::UserSignal),
-        Just(Family::SyscallByPid),
-        Just(Family::KernelSignal),
-        Just(Family::KthreadIoctl),
-        Just(Family::KthreadProc),
-    ]
-}
+const FAMILIES: [Family; 5] = [
+    Family::UserSignal,
+    Family::SyscallByPid,
+    Family::KernelSignal,
+    Family::KthreadIoctl,
+    Family::KthreadProc,
+];
 
-fn kind_strategy() -> impl Strategy<Value = NativeKind> {
-    prop_oneof![
-        Just(NativeKind::DenseSweep),
-        Just(NativeKind::SparseRandom),
-        Just(NativeKind::AppendLog),
-        Just(NativeKind::ReadMostly),
-        Just(NativeKind::Stencil2D),
-    ]
-}
+const KINDS: [NativeKind; 5] = [
+    NativeKind::DenseSweep,
+    NativeKind::SparseRandom,
+    NativeKind::AppendLog,
+    NativeKind::ReadMostly,
+    NativeKind::Stencil2D,
+];
 
-fn tracker_strategy() -> impl Strategy<Value = TrackerKind> {
-    prop_oneof![
-        Just(TrackerKind::FullOnly),
-        Just(TrackerKind::KernelPage),
-        Just(TrackerKind::ProbBlock { block: 256 }),
-    ]
-}
+const TRACKERS: [TrackerKind; 3] = [
+    TrackerKind::FullOnly,
+    TrackerKind::KernelPage,
+    TrackerKind::ProbBlock { block: 256 },
+];
 
 fn build(family: Family, tracker: TrackerKind) -> Box<dyn Mechanism> {
     let storage = shared_storage(LocalDisk::new(1 << 32));
@@ -114,22 +111,17 @@ fn final_state(k: &Kernel, pid: ckpt_restart::simos::Pid) -> (u64, u64) {
     (u64::from_le_bytes(step), u64::from_le_bytes(sum))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 12,
-        max_shrink_iters: 0,
-        ..ProptestConfig::default()
-    })]
+#[test]
+fn crash_restore_continue_equals_uninterrupted_run() {
+    for case in 0..12u64 {
+        let mut g = Gen::new(case);
+        let family = FAMILIES[case as usize % FAMILIES.len()];
+        let kind = KINDS[g.range(0, KINDS.len() as u64) as usize];
+        let tracker = TRACKERS[g.range(0, TRACKERS.len() as u64) as usize];
+        let ckpt_after_steps = g.range(3, 24);
+        let n_checkpoints = g.range(1, 3) as usize;
+        let seed = g.range(1, 1_000);
 
-    #[test]
-    fn crash_restore_continue_equals_uninterrupted_run(
-        family in family_strategy(),
-        kind in kind_strategy(),
-        tracker in tracker_strategy(),
-        ckpt_after_steps in 3u64..24,
-        n_checkpoints in 1usize..3,
-        seed in 1u64..1_000,
-    ) {
         let mut params = AppParams::small();
         params.seed = seed;
         params.total_steps = 40;
@@ -159,19 +151,27 @@ proptest! {
         let mut k2 = Kernel::new(CostModel::circa_2005());
         let r = mech.restart(&mut k2, RestorePid::Fresh).unwrap();
         let code = k2.run_until_exit(r.pid).unwrap();
-        prop_assert_eq!(code, 0);
+        assert_eq!(code, 0, "case {case} exited nonzero");
         let (step, sum) = final_state(&k2, r.pid);
-        prop_assert_eq!(step, ref_step, "step diverged for {:?}/{:?}", family, kind);
-        prop_assert_eq!(sum, ref_sum, "checksum diverged for {:?}/{:?}", family, kind);
+        assert_eq!(
+            step, ref_step,
+            "step diverged for case {case} {family:?}/{kind:?}/{tracker:?}"
+        );
+        assert_eq!(
+            sum, ref_sum,
+            "checksum diverged for case {case} {family:?}/{kind:?}/{tracker:?}"
+        );
     }
+}
 
-    #[test]
-    fn restored_image_work_counter_is_monotone(
-        kind in kind_strategy(),
-        seed in 1u64..500,
-    ) {
-        // A restart never loses more work than since the last checkpoint,
-        // and never invents progress.
+#[test]
+fn restored_image_work_counter_is_monotone() {
+    // A restart never loses more work than since the last checkpoint,
+    // and never invents progress.
+    for case in 0..6u64 {
+        let mut g = Gen::new(100 + case);
+        let kind = KINDS[case as usize % KINDS.len()];
+        let seed = g.range(1, 500);
         let mut params = AppParams::small();
         params.seed = seed;
         params.total_steps = u64::MAX;
@@ -184,7 +184,12 @@ proptest! {
         let work_at_ckpt_max = k.process(pid).unwrap().work_done;
         let mut k2 = Kernel::new(CostModel::circa_2005());
         let r = mech.restart(&mut k2, RestorePid::Fresh).unwrap();
-        prop_assert!(r.work_done <= work_at_ckpt_max);
+        assert!(
+            r.work_done <= work_at_ckpt_max,
+            "case {case}: restored work {} exceeds checkpoint-time work {}",
+            r.work_done,
+            work_at_ckpt_max
+        );
     }
 }
 

@@ -4,16 +4,16 @@
 //! with the expected *direction* on the calibrated cost model.
 
 use ckpt_restart::cluster::stochastic_run;
-use ckpt_restart::core::mechanism::fork_concurrent::ForkConcurrentMechanism;
-use ckpt_restart::core::mechanism::hardware::{HardwareMechanism, HwFlavor};
-use ckpt_restart::core::mechanism::kthread::{
+use ckpt_restart::ckpt::mechanism::fork_concurrent::ForkConcurrentMechanism;
+use ckpt_restart::ckpt::mechanism::hardware::{HardwareMechanism, HwFlavor};
+use ckpt_restart::ckpt::mechanism::kthread::{
     KernelThreadMechanism, KthreadIface, KthreadVariant,
 };
-use ckpt_restart::core::mechanism::syscall::{SyscallMechanism, SyscallVariant};
-use ckpt_restart::core::mechanism::user_level::{Trigger, UserLevelMechanism};
-use ckpt_restart::core::mechanism::Mechanism;
-use ckpt_restart::core::policy::young_interval;
-use ckpt_restart::core::{shared_storage, TrackerKind};
+use ckpt_restart::ckpt::mechanism::syscall::{SyscallMechanism, SyscallVariant};
+use ckpt_restart::ckpt::mechanism::user_level::{Trigger, UserLevelMechanism};
+use ckpt_restart::ckpt::mechanism::Mechanism;
+use ckpt_restart::ckpt::policy::young_interval;
+use ckpt_restart::ckpt::{shared_storage, TrackerKind};
 use ckpt_restart::simos::apps::{AppParams, NativeKind};
 use ckpt_restart::simos::cost::CostModel;
 use ckpt_restart::simos::signal::Sig;
@@ -104,7 +104,7 @@ fn claim_c2_c3_granularity_ordering() {
     let page_bytes;
     let line_bytes;
     {
-        use ckpt_restart::core::Tracker;
+        use ckpt_restart::ckpt::Tracker;
         let mut page = Tracker::new(TrackerKind::KernelPage);
         let mut line = Tracker::new(TrackerKind::HardwareLine);
         // NOTE: one tracker per run — they share the protection machinery.
@@ -205,7 +205,7 @@ fn claim_c7_scale() {
 /// taxonomy is a system-level OS mechanism.
 #[test]
 fn papers_conclusion_holds_in_the_taxonomy() {
-    use ckpt_restart::core::mechanism::{Context, Initiation};
+    use ckpt_restart::ckpt::mechanism::{Context, Initiation};
     // Candidate: kernel-thread mechanism with kernel-page tracking.
     let m = KernelThreadMechanism::new(
         "crak",

@@ -3,9 +3,9 @@
 //! in-handler checkpoints — the state categories Section 4.1 enumerates,
 //! exercised through real guest code.
 
-use ckpt_restart::core::mechanism::ksignal::KernelSignalMechanism;
-use ckpt_restart::core::mechanism::Mechanism;
-use ckpt_restart::core::{shared_storage, RestorePid, TrackerKind};
+use ckpt_restart::ckpt::mechanism::ksignal::KernelSignalMechanism;
+use ckpt_restart::ckpt::mechanism::Mechanism;
+use ckpt_restart::ckpt::{shared_storage, RestorePid, TrackerKind};
 use ckpt_restart::simos::asm::programs;
 use ckpt_restart::simos::cost::CostModel;
 use ckpt_restart::simos::mem::DATA_BASE;
