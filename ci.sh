@@ -13,4 +13,17 @@ cargo test -q --workspace
 echo '== cargo clippy -- -D warnings =='
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo '== perf gate: report timings =='
+# Writes BENCH_report.json (archived as a workflow artifact). The headline
+# experiment C7a ran 33 s before the software-TLB fast path and ~1 s after;
+# the 20 s ceiling is generous slack for slow runners while still catching
+# a translation-cache regression.
+./target/release/report timings
+C7A_WALL=$(grep '"c7a_cluster_mechanistic"' BENCH_report.json | awk -F'"wall_s": ' '{print $2}' | awk -F',' '{print $1}')
+echo "c7a wall-clock: ${C7A_WALL}s (ceiling 20s)"
+awk -v w="$C7A_WALL" 'BEGIN { exit !(w < 20.0) }' || {
+    echo "FAIL: c7a_cluster_mechanistic took ${C7A_WALL}s (> 20s) — software-TLB regression?"
+    exit 1
+}
+
 echo 'CI OK'

@@ -2,19 +2,45 @@
 //! reproduction on the deterministic simulator.
 //!
 //! ```text
-//! cargo run --release --bin report -- all        # everything
-//! cargo run --release --bin report -- table1     # one experiment
-//! cargo run --release --bin report -- list       # what exists
+//! cargo run --release --bin report -- all            # everything
+//! cargo run --release --bin report -- all --timings  # + wall-clock to stderr
+//! cargo run --release --bin report -- table1         # one experiment
+//! cargo run --release --bin report -- timings        # wall-clock only
+//! cargo run --release --bin report -- list           # what exists
 //! ```
 
 use ckpt_bench as bench;
 
+/// `report all --timings`: identical stdout to plain `all` (the output is
+/// golden-hashed), with per-experiment wall-clock on stderr and
+/// `BENCH_report.json` written alongside.
+fn run_all_timed() -> String {
+    let mut timings = Vec::new();
+    let mut parts = Vec::new();
+    for (name, f) in bench::EXPERIMENTS {
+        let start = std::time::Instant::now();
+        let out = f();
+        timings.push(bench::timing::ExperimentTiming {
+            name,
+            wall_s: start.elapsed().as_secs_f64(),
+            output_bytes: out.len(),
+        });
+        parts.push(out);
+    }
+    if let Err(e) = std::fs::write("BENCH_report.json", bench::timing::timings_json(&timings)) {
+        eprintln!("warning: could not write BENCH_report.json: {e}");
+    }
+    eprint!("{}", bench::timing::timings_table(&timings));
+    parts.join("\n")
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let which = args.first().map(|s| s.as_str()).unwrap_or("all");
+    let timed = args.iter().any(|a| a == "--timings");
     let out = match which {
         "list" => {
-            println!("experiments: table1 figure1 c1 c2 c3 c3b c4 c5 c6 c7a c7b c8 c9 c10 trace all");
+            println!("experiments: table1 figure1 c1 c2 c3 c3b c4 c5 c6 c7a c7b c8 c9 c10 trace timings all");
             return;
         }
         "table1" | "t1" => bench::t1_table(),
@@ -32,6 +58,14 @@ fn main() {
         "c9" | "batch" => bench::c9_batch_vs_autonomic(),
         "c10" | "sensitivity" => bench::c10_sensitivity(),
         "trace" => bench::trace_breakdown(),
+        "timings" => match bench::run_timings() {
+            Ok(table) => table,
+            Err(e) => {
+                eprintln!("could not write BENCH_report.json: {e}");
+                std::process::exit(1);
+            }
+        },
+        "all" if timed => run_all_timed(),
         "all" => bench::run_all(),
         other => {
             eprintln!("unknown experiment '{other}' — try: report list");

@@ -8,5 +8,7 @@
 
 pub mod experiments;
 pub mod fmt;
+pub mod timing;
 
 pub use experiments::*;
+pub use timing::run_timings;

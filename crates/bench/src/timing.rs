@@ -1,0 +1,113 @@
+//! Wall-clock timing of the experiment suite (`report timings`).
+//!
+//! Virtual time is what the experiments are *about*; wall-clock is what
+//! they *cost*. This module measures the latter per experiment and writes
+//! `BENCH_report.json`, the repo's perf trajectory — CI archives the file
+//! and gates on the headline experiment (C7a) so a translation-cache
+//! regression shows up as a red build, not a slowly rotting report.
+
+use crate::experiments::EXPERIMENTS;
+use std::time::Instant;
+
+/// One experiment's measurement.
+pub struct ExperimentTiming {
+    pub name: &'static str,
+    pub wall_s: f64,
+    /// Bytes of report output produced (a cheap sanity signal that the
+    /// experiment actually ran).
+    pub output_bytes: usize,
+}
+
+/// Run every experiment, timing each. Output text is discarded; only
+/// wall-clock and output size are kept.
+pub fn measure_all() -> Vec<ExperimentTiming> {
+    EXPERIMENTS
+        .iter()
+        .map(|(name, f)| {
+            let start = Instant::now();
+            let out = f();
+            ExperimentTiming {
+                name,
+                wall_s: start.elapsed().as_secs_f64(),
+                output_bytes: out.len(),
+            }
+        })
+        .collect()
+}
+
+/// Render timings as JSON. One `{"name": ..., "wall_s": ...}` object per
+/// line inside the array so line tools (the CI gate uses grep/awk) can pull
+/// a single experiment without a JSON parser.
+pub fn timings_json(timings: &[ExperimentTiming]) -> String {
+    let total: f64 = timings.iter().map(|t| t.wall_s).sum();
+    let mut s = String::from("{\n  \"experiments\": [\n");
+    for (i, t) in timings.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"wall_s\": {:.3}, \"output_bytes\": {}}}{}\n",
+            t.name,
+            t.wall_s,
+            t.output_bytes,
+            if i + 1 < timings.len() { "," } else { "" }
+        ));
+    }
+    s.push_str(&format!(
+        "  ],\n  \"total_wall_s\": {total:.3}\n}}\n"
+    ));
+    s
+}
+
+/// Render timings as an aligned human-readable table.
+pub fn timings_table(timings: &[ExperimentTiming]) -> String {
+    let total: f64 = timings.iter().map(|t| t.wall_s).sum();
+    let mut s = String::from("experiment                 wall_s\n");
+    for t in timings {
+        s.push_str(&format!("{:<26} {:>7.3}\n", t.name, t.wall_s));
+    }
+    s.push_str(&format!("{:<26} {total:>7.3}\n", "total"));
+    s
+}
+
+/// `report timings`: measure, print the table, write `BENCH_report.json`
+/// into the current directory. Returns the table.
+pub fn run_timings() -> std::io::Result<String> {
+    let timings = measure_all();
+    std::fs::write("BENCH_report.json", timings_json(&timings))?;
+    Ok(timings_table(&timings))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape_is_line_greppable() {
+        let timings = vec![
+            ExperimentTiming {
+                name: "c7a_cluster_mechanistic",
+                wall_s: 1.25,
+                output_bytes: 42,
+            },
+            ExperimentTiming {
+                name: "trace",
+                wall_s: 0.5,
+                output_bytes: 7,
+            },
+        ];
+        let json = timings_json(&timings);
+        // The CI gate greps the c7a line and awks the wall_s field out.
+        let line = json
+            .lines()
+            .find(|l| l.contains("\"c7a_cluster_mechanistic\""))
+            .expect("c7a line present");
+        assert!(line.contains("\"wall_s\": 1.250"));
+        assert!(json.contains("\"total_wall_s\": 1.750"));
+    }
+
+    #[test]
+    fn experiment_list_covers_the_full_report() {
+        let names: Vec<&str> = EXPERIMENTS.iter().map(|(n, _)| *n).collect();
+        assert!(names.contains(&"c7a_cluster_mechanistic"));
+        assert!(names.contains(&"trace"));
+        assert_eq!(names.len(), 15);
+    }
+}

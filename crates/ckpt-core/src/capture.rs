@@ -14,6 +14,7 @@ use ckpt_image::{
 use simos::fs::FsNode;
 use simos::mem::{VmaKind, PAGE_SIZE};
 use simos::pcb::{FdEntry, Pcb, ProcState, ProgramSpec, Regs};
+use simos::trace::TlbFlushSite;
 use simos::timer::TimerAction;
 use simos::types::{Fd, Pid, SimError, SimResult};
 use simos::Kernel;
@@ -289,6 +290,9 @@ pub fn restore_image(
     }
     let copy_cost = k.cost.memcpy(restored_bytes);
     k.charge(copy_cost);
+    // Rebuilding an address space is a translation-invalidation event (the
+    // restored process resumes with a cold TLB).
+    k.trace.soft_tlb_flush(TlbFlushSite::Restore);
     // File contents (UCLiK-style) before descriptors reference them.
     for f in &img.files {
         let _ = k.fs.create_file(&f.path);

@@ -22,6 +22,7 @@
 
 use simos::cost::{CACHE_LINE, PAGE_SIZE};
 use simos::mem::TrackMode;
+use simos::trace::TlbFlushSite;
 use simos::types::{Pid, SimError, SimResult};
 use simos::Kernel;
 use std::collections::{BTreeMap, BTreeSet};
@@ -157,6 +158,7 @@ impl Tracker {
                 let protected = p.mem.arm_tracking(TrackMode::KernelPage);
                 let t = protected * k.cost.mprotect_per_page_ns;
                 k.charge(t);
+                k.trace.soft_tlb_flush(TlbFlushSite::MprotectRearm);
             }
             TrackerKind::UserPage => {
                 let p = k.process_mut(pid).ok_or(SimError::NoSuchProcess(pid))?;
@@ -167,6 +169,7 @@ impl Tracker {
                 k.stats.syscalls += 1;
                 let t = k.cost.syscall_round_trip() + protected * k.cost.mprotect_per_page_ns;
                 k.charge(t);
+                k.trace.soft_tlb_flush(TlbFlushSite::MprotectRearm);
             }
             TrackerKind::ProbBlock { block } => {
                 self.snapshot_hashes(k, pid, |_| block)?;

@@ -96,9 +96,17 @@ impl std::fmt::Display for CompressError {
 
 impl std::error::Error for CompressError {}
 
+/// True iff `data` is all zero bytes — word-at-a-time, since this scan runs
+/// once per captured page and zero pages dominate sparse working sets.
+fn is_zero_page(data: &[u8]) -> bool {
+    let mut chunks = data.chunks_exact(8);
+    chunks.all(|c| u64::from_le_bytes(c.try_into().unwrap()) == 0)
+        && chunks.remainder().iter().all(|&b| b == 0)
+}
+
 /// Choose the best encoding for a page and produce its payload.
 pub fn encode_page(data: &[u8]) -> (PageEncoding, Vec<u8>) {
-    if data.iter().all(|&b| b == 0) {
+    if is_zero_page(data) {
         return (PageEncoding::Zero, Vec::new());
     }
     match rle_encode(data) {

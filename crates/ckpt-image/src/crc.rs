@@ -3,12 +3,20 @@
 //! Checkpoint data that restores silently wrong is worse than a failed
 //! restart — every image carries a trailing CRC over its entire encoding,
 //! and the reader refuses images whose CRC does not match.
+//!
+//! The hasher uses the slicing-by-8 technique: eight compile-time tables
+//! let it consume 8 input bytes per step instead of 1, which matters
+//! because every checkpointed page flows through here. The result is
+//! bit-identical to the classic byte-at-a-time Sarwate loop (which still
+//! handles unaligned head/tail bytes).
 
 const POLY: u32 = 0xEDB8_8320;
 
-/// Build the 256-entry lookup table at compile time.
-const fn build_table() -> [u32; 256] {
-    let mut table = [0u32; 256];
+/// Build the 8 × 256-entry slicing tables at compile time. `TABLES[0]` is
+/// the classic Sarwate table; `TABLES[k][b]` is the CRC of byte `b`
+/// followed by `k` zero bytes.
+const fn build_tables() -> [[u32; 256]; 8] {
+    let mut tables = [[0u32; 256]; 8];
     let mut i = 0;
     while i < 256 {
         let mut c = i as u32;
@@ -17,13 +25,23 @@ const fn build_table() -> [u32; 256] {
             c = if c & 1 != 0 { POLY ^ (c >> 1) } else { c >> 1 };
             k += 1;
         }
-        table[i] = c;
+        tables[0][i] = c;
         i += 1;
     }
-    table
+    let mut t = 1;
+    while t < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = tables[t - 1][i];
+            tables[t][i] = tables[0][(prev & 0xFF) as usize] ^ (prev >> 8);
+            i += 1;
+        }
+        t += 1;
+    }
+    tables
 }
 
-static TABLE: [u32; 256] = build_table();
+static TABLES: [[u32; 256]; 8] = build_tables();
 
 /// Streaming CRC-32 hasher.
 #[derive(Debug, Clone)]
@@ -44,8 +62,21 @@ impl Crc32 {
 
     pub fn update(&mut self, data: &[u8]) {
         let mut c = self.state;
-        for &b in data {
-            c = TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+        let mut chunks = data.chunks_exact(8);
+        for chunk in &mut chunks {
+            let lo = u32::from_le_bytes(chunk[0..4].try_into().unwrap()) ^ c;
+            let hi = u32::from_le_bytes(chunk[4..8].try_into().unwrap());
+            c = TABLES[7][(lo & 0xFF) as usize]
+                ^ TABLES[6][((lo >> 8) & 0xFF) as usize]
+                ^ TABLES[5][((lo >> 16) & 0xFF) as usize]
+                ^ TABLES[4][((lo >> 24) & 0xFF) as usize]
+                ^ TABLES[3][(hi & 0xFF) as usize]
+                ^ TABLES[2][((hi >> 8) & 0xFF) as usize]
+                ^ TABLES[1][((hi >> 16) & 0xFF) as usize]
+                ^ TABLES[0][((hi >> 24) & 0xFF) as usize];
+        }
+        for &b in chunks.remainder() {
+            c = TABLES[0][((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
         }
         self.state = c;
     }
@@ -82,6 +113,23 @@ mod tests {
             c.update(chunk);
         }
         assert_eq!(c.finalize(), crc32(&data));
+    }
+
+    #[test]
+    fn sliced_update_matches_byte_at_a_time() {
+        // Reference Sarwate loop over the same data, all lengths 0..64 so
+        // every head/tail alignment of the slicing path is exercised.
+        fn reference(data: &[u8]) -> u32 {
+            let mut c = 0xFFFF_FFFFu32;
+            for &b in data {
+                c = TABLES[0][((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+            }
+            c ^ 0xFFFF_FFFF
+        }
+        let data: Vec<u8> = (0..64u32).map(|i| (i.wrapping_mul(37) ^ 0xA5) as u8).collect();
+        for len in 0..=data.len() {
+            assert_eq!(crc32(&data[..len]), reference(&data[..len]), "len {len}");
+        }
     }
 
     #[test]

@@ -110,7 +110,29 @@ impl AppParams {
 pub trait GuestMemIo {
     fn r64(&mut self, addr: u64) -> u64;
     fn w64(&mut self, addr: u64, val: u64);
+
+    /// Store `vals` at consecutive word addresses starting at `addr`.
+    /// Semantically identical to a `w64` loop (the default *is* that loop);
+    /// kernel-backed implementations override it to move whole page-sized
+    /// batches through one protection check.
+    fn write_words(&mut self, addr: u64, vals: &[u64]) {
+        for (i, v) in vals.iter().enumerate() {
+            self.w64(addr + i as u64 * 8, *v);
+        }
+    }
+
+    /// Load consecutive words starting at `addr` into `out`. Semantically
+    /// identical to an `r64` loop.
+    fn read_words(&mut self, addr: u64, out: &mut [u64]) {
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = self.r64(addr + i as u64 * 8);
+        }
+    }
 }
+
+/// Words per bulk batch: one guest page, so a batch never needs more than
+/// one protection resolution per page on the kernel fast path.
+const BATCH_WORDS: usize = (PAGE_SIZE / 8) as usize;
 
 /// Result of one app step.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -142,10 +164,18 @@ pub fn init(kind: NativeKind, params: &AppParams, io: &mut dyn GuestMemIo) {
     io.w64(H_SUM, 0);
     match kind {
         NativeKind::ReadMostly | NativeKind::Stencil2D => {
-            // These kernels read before writing: initialize the array.
+            // These kernels read before writing: initialize the array,
+            // page-sized batch at a time.
             let words = params.words();
-            for i in 0..words {
-                io.w64(ARRAY_BASE + i * 8, mix64(params.seed ^ i));
+            let mut buf = [0u64; BATCH_WORDS];
+            let mut i = 0u64;
+            while i < words {
+                let n = BATCH_WORDS.min((words - i) as usize);
+                for (j, b) in buf[..n].iter_mut().enumerate() {
+                    *b = mix64(params.seed ^ (i + j as u64));
+                }
+                io.write_words(ARRAY_BASE + i * 8, &buf[..n]);
+                i += n as u64;
             }
         }
         _ => {}
@@ -161,10 +191,19 @@ pub fn step(kind: NativeKind, params: &AppParams, io: &mut dyn GuestMemIo) -> St
     let mut sum = io.r64(H_SUM);
     match kind {
         NativeKind::DenseSweep => {
-            for i in 0..words {
-                let v = mix64(step.wrapping_mul(0x1000_0001).wrapping_add(i));
-                io.w64(ARRAY_BASE + i * 8, v);
-                sum = sum.wrapping_add(v);
+            // Page-granular batches; values and the checksum accumulate in
+            // the exact order the scalar loop produced.
+            let mut buf = [0u64; BATCH_WORDS];
+            let mut i = 0u64;
+            while i < words {
+                let n = BATCH_WORDS.min((words - i) as usize);
+                for (j, b) in buf[..n].iter_mut().enumerate() {
+                    let v = mix64(step.wrapping_mul(0x1000_0001).wrapping_add(i + j as u64));
+                    *b = v;
+                    sum = sum.wrapping_add(v);
+                }
+                io.write_words(ARRAY_BASE + i * 8, &buf[..n]);
+                i += n as u64;
             }
             touched += words * 8;
         }
@@ -216,8 +255,15 @@ pub fn step(kind: NativeKind, params: &AppParams, io: &mut dyn GuestMemIo) -> St
             // Read the whole set; write one word per `write_stride_pages`
             // pages.
             let mut acc = 0u64;
-            for i in 0..words {
-                acc = acc.wrapping_add(io.r64(ARRAY_BASE + i * 8));
+            let mut buf = [0u64; BATCH_WORDS];
+            let mut i = 0u64;
+            while i < words {
+                let n = BATCH_WORDS.min((words - i) as usize);
+                io.read_words(ARRAY_BASE + i * 8, &mut buf[..n]);
+                for v in &buf[..n] {
+                    acc = acc.wrapping_add(*v);
+                }
+                i += n as u64;
             }
             let stride_words = params.write_stride_pages.max(1) * (PAGE_SIZE / 8);
             let mut i = (step * 7) % stride_words.min(words);

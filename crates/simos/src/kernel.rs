@@ -22,7 +22,7 @@ use crate::signal::{
 use crate::stats::KernelStats;
 use crate::syscall::{MaskHow, Syscall, Whence};
 use crate::timer::{TimerAction, TimerId, TimerWheel};
-use crate::trace::{KernelEvent, TraceHandle};
+use crate::trace::{KernelEvent, TlbFlushSite, TraceHandle};
 use crate::types::{
     sysret_encode, Errno, FaultKind, Fd, KtId, OfdId, Pid, SimError, SimResult, SysResult, Task,
 };
@@ -585,6 +585,12 @@ impl Kernel {
             self.stats.mm_switches += 1;
             self.trace.kernel(KernelEvent::MmSwitch, self.clock, t);
             self.trace.kernel(KernelEvent::TlbFlush, self.clock, 0);
+            // The software TLB mirrors the hardware one it models: the
+            // incoming space starts translation-cold after a switch.
+            if let Some(p) = self.procs.get_mut(&pid.0) {
+                p.mem.tlb_flush();
+            }
+            self.trace.soft_tlb_flush(TlbFlushSite::MmSwitch);
             self.active_mm = Some(pid);
         }
         Ok(())
@@ -966,6 +972,7 @@ impl Kernel {
                 let pages = p.mem.mprotect(addr, len, prot).map_err(|_| Errno::EINVAL)?;
                 let t = pages * self.cost.mprotect_per_page_ns;
                 self.charge(t);
+                self.trace.soft_tlb_flush(TlbFlushSite::MprotectRearm);
                 Ok(pages)
             }
             Syscall::Open { path, flags } => self.sys_open(pid, &path, flags, interposes),
@@ -1460,6 +1467,12 @@ impl Kernel {
             self.stats.mm_switches += 1;
             self.trace.kernel(KernelEvent::MmSwitch, self.clock, t);
             self.trace.kernel(KernelEvent::TlbFlush, self.clock, 0);
+            // Incoming space runs translation-cold, like the hardware TLB
+            // the switch cost models.
+            if let Some(p) = self.procs.get_mut(&pid.0) {
+                p.mem.tlb_flush();
+            }
+            self.trace.soft_tlb_flush(TlbFlushSite::MmSwitch);
             self.active_mm = Some(pid);
         }
         // Kernel→user transition: deliver pending signals.
@@ -1980,6 +1993,59 @@ impl GuestMemIo for KernelMemIo<'_> {
         }
         if let Err(e) = self.k.mem_write(self.pid, addr, &val.to_le_bytes()) {
             self.fatal = Some(e);
+        }
+    }
+
+    // Bulk fast path: one `mem_write`/`mem_read` per page-sized batch
+    // instead of one per word. Protection, tracking, COW, and fault
+    // charging are identical to the scalar loop — `check_write` walks the
+    // batch's pages in the same ascending order the word loop touches them,
+    // so fault counts, order, and virtual-time charges do not change.
+    fn write_words(&mut self, addr: u64, vals: &[u64]) {
+        if self.fatal.is_some() {
+            return;
+        }
+        let mut buf = [0u8; PAGE_SIZE as usize];
+        let words_per_buf = (PAGE_SIZE / 8) as usize;
+        let mut off = 0usize;
+        while off < vals.len() {
+            let n = words_per_buf.min(vals.len() - off);
+            for (j, v) in vals[off..off + n].iter().enumerate() {
+                buf[j * 8..j * 8 + 8].copy_from_slice(&v.to_le_bytes());
+            }
+            if let Err(e) = self
+                .k
+                .mem_write(self.pid, addr + off as u64 * 8, &buf[..n * 8])
+            {
+                self.fatal = Some(e);
+                return;
+            }
+            off += n;
+        }
+    }
+
+    fn read_words(&mut self, addr: u64, out: &mut [u64]) {
+        if self.fatal.is_some() {
+            out.fill(0);
+            return;
+        }
+        let mut buf = [0u8; PAGE_SIZE as usize];
+        let words_per_buf = (PAGE_SIZE / 8) as usize;
+        let mut off = 0usize;
+        while off < out.len() {
+            let n = words_per_buf.min(out.len() - off);
+            if let Err(e) = self
+                .k
+                .mem_read(self.pid, addr + off as u64 * 8, &mut buf[..n * 8])
+            {
+                self.fatal = Some(e);
+                out[off..].fill(0);
+                return;
+            }
+            for (j, o) in out[off..off + n].iter_mut().enumerate() {
+                *o = u64::from_le_bytes(buf[j * 8..j * 8 + 8].try_into().unwrap());
+            }
+            off += n;
         }
     }
 }

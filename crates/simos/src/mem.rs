@@ -10,6 +10,21 @@
 //! The module also supports cache-line-granularity write logging for the
 //! hardware-assisted model of Section 4.2 (ReVive/SafetyNet).
 //!
+//! ## The software TLB
+//!
+//! Resolving one guest access used to cost a `BTreeMap` walk to find the
+//! page, a linear VMA scan when the page was absent, and a second walk to
+//! fetch the data. A direct-mapped translation cache ([`TlbEntry`],
+//! `TLB_SIZE` entries) short-circuits both: it maps a page number to the
+//! page's *slot* in a stable page store plus its effective protection, so
+//! the hot path is one array probe. The cache is purely a host-side
+//! accelerator — it never changes guest-visible behavior or virtual-time
+//! accounting, only wall-clock. Its invalidation points are exactly the
+//! paper's TLB-flush events: address-space operations (`mmap`/`munmap`/
+//! `brk`), `mprotect`-based (re-)arming of write tracking, checkpoint
+//! restore, and — driven by the kernel — the address-space switch.
+//! Hit/miss/flush counts are reported in [`MemStats`].
+//!
 //! Internal fallible operations use `Result<_, ()>`: the kernel maps every
 //! failure to a single guest-visible errno, so a richer error type here
 //! would add no information.
@@ -155,12 +170,55 @@ pub struct MemStats {
     pub protection_faults: u64,
     pub bytes_written: u64,
     pub bytes_read: u64,
+    /// Software-TLB probes answered from the cache.
+    pub tlb_hits: u64,
+    /// Software-TLB probes that fell back to the page-index walk.
+    pub tlb_misses: u64,
+    /// Full software-TLB flushes (mm switch, mprotect re-arm, unmap,
+    /// restore — the paper's invalidation events).
+    pub tlb_flushes: u64,
+}
+
+/// Number of entries in the direct-mapped software TLB.
+const TLB_SIZE: usize = 128;
+
+/// One software-TLB entry: page number → slot in the page store plus the
+/// page's effective protection at fill time.
+#[derive(Debug, Clone, Copy)]
+struct TlbEntry {
+    pn: u64,
+    slot: u32,
+    prot: Prot,
+}
+
+impl TlbEntry {
+    /// `u64::MAX` is never a reachable guest page number (the layout tops
+    /// out at [`STACK_TOP`]), so it doubles as the invalid marker.
+    const INVALID: TlbEntry = TlbEntry {
+        pn: u64::MAX,
+        slot: 0,
+        prot: Prot::NONE,
+    };
+}
+
+#[inline]
+fn tlb_idx(pn: u64) -> usize {
+    (pn as usize) & (TLB_SIZE - 1)
 }
 
 /// A guest address space.
 #[derive(Debug, Clone)]
 pub struct AddressSpace {
-    pages: BTreeMap<u64, Page>, // page number -> page
+    /// Page number → slot in `slots`. The indirection gives every
+    /// materialized page a stable index the TLB can cache across unrelated
+    /// inserts; only removal or protection change invalidates an entry.
+    page_index: BTreeMap<u64, u32>,
+    slots: Vec<Option<Page>>,
+    free_slots: Vec<u32>,
+    tlb: [TlbEntry; TLB_SIZE],
+    /// Runtime switch for the translation cache (observational-equivalence
+    /// tests run with it off; production paths leave it on).
+    tlb_enabled: bool,
     vmas: Vec<Vma>,
     brk: u64,
     heap_base: u64,
@@ -187,7 +245,11 @@ impl AddressSpace {
     /// layout.
     pub fn new(text_bytes: u64, data_bytes: u64) -> Self {
         let mut a = AddressSpace {
-            pages: BTreeMap::new(),
+            page_index: BTreeMap::new(),
+            slots: Vec::new(),
+            free_slots: Vec::new(),
+            tlb: [TlbEntry::INVALID; TLB_SIZE],
+            tlb_enabled: true,
             vmas: Vec::new(),
             brk: HEAP_BASE,
             heap_base: HEAP_BASE,
@@ -230,6 +292,118 @@ impl AddressSpace {
         a
     }
 
+    // ------------------------------------------------------------------
+    // Software TLB.
+    // ------------------------------------------------------------------
+
+    /// Enable or disable the translation cache at runtime. Disabling forces
+    /// every access down the slow page-index/VMA walk; re-enabling starts
+    /// from a cold cache. Guest-visible behavior is identical either way.
+    pub fn set_tlb_enabled(&mut self, enabled: bool) {
+        if enabled && !self.tlb_enabled {
+            self.tlb = [TlbEntry::INVALID; TLB_SIZE];
+        }
+        self.tlb_enabled = enabled;
+    }
+
+    /// Flush the whole translation cache — one of the paper's invalidation
+    /// events (the kernel calls this on the address-space switch; internal
+    /// callers on `mprotect` re-arm, unmap, and restore).
+    pub fn tlb_flush(&mut self) {
+        self.tlb = [TlbEntry::INVALID; TLB_SIZE];
+        self.stats.tlb_flushes += 1;
+    }
+
+    /// Invalidate the single entry for `pn` (the per-page `mprotect` the
+    /// tracking fault handler performs — no full flush needed).
+    #[inline]
+    fn tlb_evict(&mut self, pn: u64) {
+        let e = &mut self.tlb[tlb_idx(pn)];
+        if e.pn == pn {
+            *e = TlbEntry::INVALID;
+        }
+    }
+
+    #[inline]
+    fn tlb_fill(&mut self, pn: u64, slot: u32, prot: Prot) {
+        if self.tlb_enabled {
+            self.tlb[tlb_idx(pn)] = TlbEntry { pn, slot, prot };
+        }
+    }
+
+    /// Slow path behind a TLB miss on the protection walk: consult the page
+    /// index (filling the TLB on residency) or fall back to the VMA scan.
+    fn resolve_prot_slow(&mut self, pn: u64) -> Option<Prot> {
+        if let Some(&slot) = self.page_index.get(&pn) {
+            let prot = self.slots[slot as usize].as_ref().expect("live slot").prot;
+            self.tlb_fill(pn, slot, prot);
+            return Some(prot);
+        }
+        self.vma_of(pn * PAGE_SIZE).map(|v| v.prot)
+    }
+
+    /// Resolve the slot for a write to `pn`, materializing on demand. This
+    /// is the single place protection/residency is resolved for the data
+    /// half of an access — a TLB hit skips both map walks.
+    #[inline]
+    fn slot_for_write(&mut self, pn: u64) -> u32 {
+        if self.tlb_enabled {
+            let e = self.tlb[tlb_idx(pn)];
+            if e.pn == pn {
+                self.stats.tlb_hits += 1;
+                return e.slot;
+            }
+            self.stats.tlb_misses += 1;
+        }
+        self.materialize_slot(pn)
+    }
+
+    fn materialize_slot(&mut self, pn: u64) -> u32 {
+        if let Some(&slot) = self.page_index.get(&pn) {
+            let prot = self.slots[slot as usize].as_ref().expect("live slot").prot;
+            self.tlb_fill(pn, slot, prot);
+            return slot;
+        }
+        let prot = self
+            .vma_of(pn * PAGE_SIZE)
+            .map(|v| v.prot)
+            .unwrap_or(Prot::NONE);
+        let slot = match self.free_slots.pop() {
+            Some(s) => {
+                self.slots[s as usize] = Some(Page::zeroed(prot));
+                s
+            }
+            None => {
+                self.slots.push(Some(Page::zeroed(prot)));
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.page_index.insert(pn, slot);
+        self.stats.pages_materialized += 1;
+        self.tlb_fill(pn, slot, prot);
+        slot
+    }
+
+    fn remove_page(&mut self, pn: u64) {
+        if let Some(slot) = self.page_index.remove(&pn) {
+            self.slots[slot as usize] = None;
+            self.free_slots.push(slot);
+        }
+        self.tlb_evict(pn);
+        self.dirty_pages.remove(&pn);
+    }
+
+    #[inline]
+    fn page_ref(&self, pn: u64) -> Option<&Page> {
+        self.page_index
+            .get(&pn)
+            .map(|&slot| self.slots[slot as usize].as_ref().expect("live slot"))
+    }
+
+    // ------------------------------------------------------------------
+    // Layout operations.
+    // ------------------------------------------------------------------
+
     /// The VMAs, in address order.
     pub fn vmas(&self) -> &[Vma] {
         &self.vmas
@@ -264,14 +438,14 @@ impl AddressSpace {
         let old_end = heap.end;
         heap.end = new_end.max(heap.start);
         self.brk = new;
-        // Release pages beyond a shrunken heap.
+        // Release pages beyond a shrunken heap (a TLB invalidation event).
         if new_end < old_end {
             let first_gone = new_end / PAGE_SIZE;
             let last = old_end / PAGE_SIZE;
             for pn in first_gone..last {
-                self.pages.remove(&pn);
-                self.dirty_pages.remove(&pn);
+                self.remove_page(pn);
             }
+            self.stats.tlb_flushes += 1;
         }
         Ok(self.brk)
     }
@@ -312,6 +486,7 @@ impl AddressSpace {
         self.vmas.retain(|v| !(v.start == vma.start && v.kind == vma.kind));
         self.vmas.push(vma);
         self.vmas.sort_by_key(|v| v.start);
+        self.tlb_flush();
     }
 
     /// Force the program break to an exact restored value.
@@ -321,6 +496,7 @@ impl AddressSpace {
         if let Some(heap) = self.vmas.iter_mut().find(|v| v.kind == VmaKind::Heap) {
             heap.end = new_end.max(heap.start);
         }
+        self.tlb_flush();
     }
 
     /// Unmap a previously mmapped region. Only whole-VMA unmaps are
@@ -333,9 +509,9 @@ impl AddressSpace {
             .ok_or(())?;
         let vma = self.vmas.remove(idx);
         for pn in vma.pages() {
-            self.pages.remove(&pn);
-            self.dirty_pages.remove(&pn);
+            self.remove_page(pn);
         }
+        self.stats.tlb_flushes += 1;
         Ok(())
     }
 
@@ -353,11 +529,14 @@ impl AddressSpace {
         }
         let mut count = 0;
         for pn in (addr / PAGE_SIZE)..(end / PAGE_SIZE) {
-            if let Some(p) = self.pages.get_mut(&pn) {
-                p.prot = prot;
+            if let Some(&slot) = self.page_index.get(&pn) {
+                self.slots[slot as usize].as_mut().expect("live slot").prot = prot;
             }
             count += 1;
         }
+        // Protection changed under cached translations: flush (the paper's
+        // mprotect invalidation event).
+        self.tlb_flush();
         // Note: we deliberately do not split VMAs; nominal VMA protection is
         // left untouched and effective protection lives on the pages. The
         // checkpointers that arm tracking always operate page-wise.
@@ -380,32 +559,37 @@ impl AddressSpace {
         self.vmas.iter().find(|v| v.contains(addr))
     }
 
-    fn effective_prot(&self, pn: u64) -> Option<Prot> {
-        if let Some(p) = self.pages.get(&pn) {
-            return Some(p.prot);
-        }
-        self.vma_of(pn * PAGE_SIZE).map(|v| v.prot)
-    }
-
     /// Check whether a write of `len` bytes at `addr` would succeed, without
     /// performing it.
-    pub fn check_write(&self, addr: u64, len: u64) -> AccessOutcome {
+    pub fn check_write(&mut self, addr: u64, len: u64) -> AccessOutcome {
         self.check(addr, len, true)
     }
 
     /// Check whether a read of `len` bytes at `addr` would succeed.
-    pub fn check_read(&self, addr: u64, len: u64) -> AccessOutcome {
+    pub fn check_read(&mut self, addr: u64, len: u64) -> AccessOutcome {
         self.check(addr, len, false)
     }
 
-    fn check(&self, addr: u64, len: u64, write: bool) -> AccessOutcome {
+    fn check(&mut self, addr: u64, len: u64, write: bool) -> AccessOutcome {
         if len == 0 {
             return AccessOutcome::Ok;
         }
         let first = addr / PAGE_SIZE;
         let last = (addr + len - 1) / PAGE_SIZE;
         for pn in first..=last {
-            match self.effective_prot(pn) {
+            let prot = if self.tlb_enabled {
+                let e = self.tlb[tlb_idx(pn)];
+                if e.pn == pn {
+                    self.stats.tlb_hits += 1;
+                    Some(e.prot)
+                } else {
+                    self.stats.tlb_misses += 1;
+                    self.resolve_prot_slow(pn)
+                }
+            } else {
+                self.resolve_prot_slow(pn)
+            };
+            match prot {
                 None => {
                     return AccessOutcome::Fault {
                         addr: pn * PAGE_SIZE,
@@ -431,18 +615,6 @@ impl AddressSpace {
         AccessOutcome::Ok
     }
 
-    fn materialize(&mut self, pn: u64) -> &mut Page {
-        if !self.pages.contains_key(&pn) {
-            let prot = self
-                .vma_of(pn * PAGE_SIZE)
-                .map(|v| v.prot)
-                .unwrap_or(Prot::NONE);
-            self.pages.insert(pn, Page::zeroed(prot));
-            self.stats.pages_materialized += 1;
-        }
-        self.pages.get_mut(&pn).expect("just inserted")
-    }
-
     /// Write bytes, assuming protection has already been checked/handled by
     /// the kernel. Records dirty info according to the current track mode.
     pub fn write_unchecked(&mut self, addr: u64, bytes: &[u8]) {
@@ -460,7 +632,8 @@ impl AddressSpace {
             let pn = cur / PAGE_SIZE;
             let in_page = (cur % PAGE_SIZE) as usize;
             let n = ((PAGE_SIZE as usize) - in_page).min(bytes.len() - off);
-            let page = self.materialize(pn);
+            let slot = self.slot_for_write(pn);
+            let page = self.slots[slot as usize].as_mut().expect("live slot");
             page.data[in_page..in_page + n].copy_from_slice(&bytes[off..off + n]);
             off += n;
             cur += n as u64;
@@ -476,8 +649,27 @@ impl AddressSpace {
             let pn = cur / PAGE_SIZE;
             let in_page = (cur % PAGE_SIZE) as usize;
             let n = ((PAGE_SIZE as usize) - in_page).min(out.len() - off);
-            match self.pages.get(&pn) {
-                Some(p) => out[off..off + n].copy_from_slice(&p.data[in_page..in_page + n]),
+            let slot = if self.tlb_enabled {
+                let e = self.tlb[tlb_idx(pn)];
+                if e.pn == pn {
+                    self.stats.tlb_hits += 1;
+                    Some(e.slot)
+                } else {
+                    self.stats.tlb_misses += 1;
+                    self.page_index.get(&pn).copied().inspect(|&slot| {
+                        let prot =
+                            self.slots[slot as usize].as_ref().expect("live slot").prot;
+                        self.tlb[tlb_idx(pn)] = TlbEntry { pn, slot, prot };
+                    })
+                }
+            } else {
+                self.page_index.get(&pn).copied()
+            };
+            match slot {
+                Some(slot) => {
+                    let p = self.slots[slot as usize].as_ref().expect("live slot");
+                    out[off..off + n].copy_from_slice(&p.data[in_page..in_page + n]);
+                }
                 None => out[off..off + n].fill(0),
             }
             off += n;
@@ -494,7 +686,7 @@ impl AddressSpace {
             let pn = cur / PAGE_SIZE;
             let in_page = (cur % PAGE_SIZE) as usize;
             let n = ((PAGE_SIZE as usize) - in_page).min(out.len() - off);
-            match self.pages.get(&pn) {
+            match self.page_ref(pn) {
                 Some(p) => out[off..off + n].copy_from_slice(&p.data[in_page..in_page + n]),
                 None => out[off..off + n].fill(0),
             }
@@ -512,7 +704,8 @@ impl AddressSpace {
             let pn = cur / PAGE_SIZE;
             let in_page = (cur % PAGE_SIZE) as usize;
             let n = ((PAGE_SIZE as usize) - in_page).min(bytes.len() - off);
-            let page = self.materialize(pn);
+            let slot = self.slot_for_write(pn);
+            let page = self.slots[slot as usize].as_mut().expect("live slot");
             page.data[in_page..in_page + n].copy_from_slice(&bytes[off..off + n]);
             off += n;
             cur += n as u64;
@@ -521,22 +714,22 @@ impl AddressSpace {
 
     /// Page numbers of all materialized (resident) pages, in order.
     pub fn resident_pages(&self) -> impl Iterator<Item = u64> + '_ {
-        self.pages.keys().copied()
+        self.page_index.keys().copied()
     }
 
     /// Number of resident pages.
     pub fn resident_count(&self) -> usize {
-        self.pages.len()
+        self.page_index.len()
     }
 
     /// Raw page contents (for checkpointers). `None` if not materialized.
     pub fn page_data(&self, pn: u64) -> Option<&[u8]> {
-        self.pages.get(&pn).map(|p| &*p.data)
+        self.page_ref(pn).map(|p| &*p.data)
     }
 
     /// Effective protection of a materialized page.
     pub fn page_prot(&self, pn: u64) -> Option<Prot> {
-        self.pages.get(&pn).map(|p| p.prot)
+        self.page_ref(pn).map(|p| p.prot)
     }
 
     /// Arm write tracking: write-protect every resident writable page (for
@@ -550,12 +743,16 @@ impl AddressSpace {
             TrackMode::Off | TrackMode::HardwareLine => 0,
             TrackMode::KernelPage | TrackMode::UserSigsegv => {
                 let mut n = 0;
-                for (_, page) in self.pages.iter_mut() {
+                for &slot in self.page_index.values() {
+                    let page = self.slots[slot as usize].as_mut().expect("live slot");
                     if page.prot.writable() {
                         page.prot = page.prot.without_write();
                         n += 1;
                     }
                 }
+                // Cached protections went stale wholesale: the mprotect
+                // re-arm is one of the paper's flush events.
+                self.tlb_flush();
                 n
             }
         }
@@ -571,12 +768,15 @@ impl AddressSpace {
         if !nominal_writable {
             return false;
         }
-        let page = self.materialize(pn);
+        let slot = self.materialize_slot(pn);
+        let page = self.slots[slot as usize].as_mut().expect("live slot");
         if page.prot.writable() {
             // Already writable: not a tracking fault.
             return false;
         }
         page.prot = page.prot.union(Prot::W);
+        // Single-page invalidation: the handler's per-page mprotect.
+        self.tlb_evict(pn);
         self.dirty_pages.insert(pn);
         self.stats.write_faults_tracked += 1;
         true
@@ -595,7 +795,8 @@ impl AddressSpace {
         self.track = TrackMode::Off;
         let vmas = self.vmas.clone();
         let mut n = 0;
-        for (pn, page) in self.pages.iter_mut() {
+        for (&pn, &slot) in self.page_index.iter() {
+            let page = self.slots[slot as usize].as_mut().expect("live slot");
             if let Some(v) = vmas.iter().find(|v| v.contains(pn * PAGE_SIZE)) {
                 if page.prot != v.prot {
                     page.prot = v.prot;
@@ -603,12 +804,13 @@ impl AddressSpace {
                 }
             }
         }
+        self.tlb_flush();
         n
     }
 
     /// Total bytes resident.
     pub fn resident_bytes(&self) -> u64 {
-        self.pages.len() as u64 * PAGE_SIZE
+        self.page_index.len() as u64 * PAGE_SIZE
     }
 
     /// Render a `/proc/<pid>/maps`-style listing.
@@ -671,7 +873,7 @@ mod tests {
 
     #[test]
     fn unmapped_access_faults() {
-        let a = space();
+        let mut a = space();
         match a.check_write(0xdead_0000_0000, 4) {
             AccessOutcome::Fault { kind, .. } => assert_eq!(kind, FaultKind::NotMapped),
             AccessOutcome::Ok => panic!("expected fault"),
@@ -680,7 +882,7 @@ mod tests {
 
     #[test]
     fn text_is_not_writable() {
-        let a = space();
+        let mut a = space();
         match a.check_write(TEXT_BASE, 4) {
             AccessOutcome::Fault { kind, .. } => assert_eq!(kind, FaultKind::WriteProtected),
             AccessOutcome::Ok => panic!("expected fault"),
@@ -827,5 +1029,125 @@ mod tests {
         assert_eq!(round_up(1, 4096), 4096);
         assert_eq!(round_up(4096, 4096), 4096);
         assert_eq!(round_up(4097, 4096), 8192);
+    }
+
+    // --- software-TLB behavior ---
+
+    #[test]
+    fn repeated_access_hits_the_tlb() {
+        let mut a = space();
+        a.write_unchecked(DATA_BASE, &[1; 8]);
+        let miss0 = a.stats.tlb_misses;
+        let hit0 = a.stats.tlb_hits;
+        for i in 0..100u64 {
+            a.write_unchecked(DATA_BASE + i * 8, &[2; 8]);
+        }
+        assert_eq!(a.stats.tlb_misses, miss0, "same page must not re-miss");
+        assert_eq!(a.stats.tlb_hits, hit0 + 100);
+    }
+
+    #[test]
+    fn checked_write_resolves_protection_once_per_page() {
+        let mut a = space();
+        a.write_unchecked(DATA_BASE, &[1; 8]); // materialize + fill
+        let miss0 = a.stats.tlb_misses;
+        // check + data access both hit the cached translation.
+        assert_eq!(a.check_write(DATA_BASE + 64, 8), AccessOutcome::Ok);
+        a.write_unchecked(DATA_BASE + 64, &[3; 8]);
+        assert_eq!(a.stats.tlb_misses, miss0);
+    }
+
+    #[test]
+    fn mprotect_flushes_tlb() {
+        let mut a = space();
+        a.write_unchecked(DATA_BASE, &[1; 8]);
+        let f0 = a.stats.tlb_flushes;
+        a.mprotect(DATA_BASE, PAGE_SIZE, Prot::R).unwrap();
+        assert_eq!(a.stats.tlb_flushes, f0 + 1);
+        // Stale writable translation must not survive the flush.
+        assert!(matches!(
+            a.check_write(DATA_BASE, 1),
+            AccessOutcome::Fault {
+                kind: FaultKind::WriteProtected,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn arm_and_disarm_flush_tlb() {
+        let mut a = space();
+        a.write_unchecked(DATA_BASE, &[1; 8]);
+        let f0 = a.stats.tlb_flushes;
+        a.arm_tracking(TrackMode::KernelPage);
+        assert_eq!(a.stats.tlb_flushes, f0 + 1);
+        a.disarm_tracking();
+        assert_eq!(a.stats.tlb_flushes, f0 + 2);
+    }
+
+    #[test]
+    fn slot_reuse_does_not_leak_stale_translations() {
+        let mut a = space();
+        let addr = a.mmap(2 * PAGE_SIZE, Prot::RW, "anon").unwrap();
+        a.write_unchecked(addr, &[0xAA; 16]);
+        a.munmap(addr).unwrap();
+        // The freed slot is reused by a different page; the old page's
+        // translation must be gone.
+        a.write_unchecked(DATA_BASE, &[0xBB; 16]);
+        let mut buf = [0u8; 16];
+        a.peek(DATA_BASE, &mut buf);
+        assert_eq!(buf, [0xBB; 16]);
+        assert!(matches!(
+            a.check_write(addr, 1),
+            AccessOutcome::Fault {
+                kind: FaultKind::NotMapped,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn disabled_tlb_is_observationally_identical_smoke() {
+        let run = |enabled: bool| {
+            let mut a = space();
+            a.set_tlb_enabled(enabled);
+            a.write_unchecked(DATA_BASE, &[5; 300]);
+            a.arm_tracking(TrackMode::KernelPage);
+            let _ = a.check_write(DATA_BASE, 8);
+            a.resolve_tracked_fault(DATA_BASE / PAGE_SIZE);
+            a.write_unchecked(DATA_BASE + 8, &[6; 8]);
+            let mut buf = [0u8; 16];
+            a.read_unchecked(DATA_BASE, &mut buf);
+            let mut st = a.stats.clone();
+            st.tlb_hits = 0;
+            st.tlb_misses = 0;
+            st.tlb_flushes = 0;
+            (buf, a.dirty_pages.clone(), st)
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn tlb_aliasing_pages_evict_each_other_correctly() {
+        let mut a = space();
+        // Two pages that collide in the direct-mapped TLB (same index).
+        let p1 = DATA_BASE;
+        let p2 = DATA_BASE + (TLB_SIZE as u64) * PAGE_SIZE;
+        // p2 is outside the small data VMA; use a big mmap region instead.
+        let base = a
+            .mmap((2 * TLB_SIZE as u64) * PAGE_SIZE, Prot::RW, "anon")
+            .unwrap();
+        let q1 = base;
+        let q2 = base + (TLB_SIZE as u64) * PAGE_SIZE;
+        assert_eq!(tlb_idx(q1 / PAGE_SIZE), tlb_idx(q2 / PAGE_SIZE));
+        a.write_unchecked(q1, &[1; 8]);
+        a.write_unchecked(q2, &[2; 8]);
+        a.write_unchecked(q1, &[3; 8]);
+        let mut b = [0u8; 8];
+        a.peek(q1, &mut b);
+        assert_eq!(b, [3; 8]);
+        a.peek(q2, &mut b);
+        assert_eq!(b, [2; 8]);
+        let _ = (p1, p2);
     }
 }

@@ -111,6 +111,30 @@ impl KernelEvent {
     }
 }
 
+/// Where a *software*-TLB flush happened — the host-side translation cache
+/// in `simos::mem` invalidates at exactly the paper's TLB-flush events, and
+/// this enum names those sites so `report trace` can show the coincidence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TlbFlushSite {
+    /// Address-space switch (the kernel-thread attach / scheduler switch
+    /// the paper charges `tlb_flush_ns + tlb_refill_ns` for).
+    MmSwitch,
+    /// `mprotect`-based (re-)arming of write tracking.
+    MprotectRearm,
+    /// Checkpoint restore rebuilding an address space.
+    Restore,
+}
+
+impl TlbFlushSite {
+    pub fn label(self) -> &'static str {
+        match self {
+            TlbFlushSite::MmSwitch => "mm-switch",
+            TlbFlushSite::MprotectRearm => "mprotect-rearm",
+            TlbFlushSite::Restore => "restore",
+        }
+    }
+}
+
 /// Storage backend operations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum StorageOp {
@@ -230,6 +254,11 @@ pub struct TraceReport {
     pub storage: BTreeMap<(StorageOp, String), StorageAgg>,
     pub cluster: Vec<ClusterRecord>,
     pub events_recorded: u64,
+    /// Software-TLB flushes by invalidation site. Kept out of `kernel` and
+    /// `events_recorded` on purpose: the software TLB is a host-side
+    /// accelerator, and adding it must not perturb any pre-existing totals
+    /// (the `report all` output is pinned byte-for-byte).
+    pub soft_tlb_flushes: BTreeMap<TlbFlushSite, u64>,
 }
 
 impl TraceReport {
@@ -390,6 +419,17 @@ impl TraceHandle {
         d.report.events_recorded += 1;
     }
 
+    /// Note a software-TLB flush at one of the paper's invalidation sites.
+    /// Does not bump `events_recorded` — see [`TraceReport::soft_tlb_flushes`].
+    #[inline]
+    pub fn soft_tlb_flush(&self, site: TlbFlushSite) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut d = self.0.data.lock().unwrap();
+        *d.report.soft_tlb_flushes.entry(site).or_default() += 1;
+    }
+
     /// Emit a cluster-level event.
     #[inline]
     pub fn cluster(&self, event: ClusterEvent, at_ns: u64) {
@@ -474,6 +514,20 @@ mod tests {
         let s = r.storage[&(StorageOp::Store, "remote".to_string())];
         assert_eq!(s.bytes, 1 << 20);
         assert_eq!(s.stall_ns, 4_000_000);
+    }
+
+    #[test]
+    fn soft_tlb_flushes_do_not_disturb_event_totals() {
+        let t = TraceHandle::recording();
+        t.soft_tlb_flush(TlbFlushSite::MmSwitch);
+        t.soft_tlb_flush(TlbFlushSite::MmSwitch);
+        t.soft_tlb_flush(TlbFlushSite::Restore);
+        let r = t.report();
+        assert_eq!(r.soft_tlb_flushes[&TlbFlushSite::MmSwitch], 2);
+        assert_eq!(r.soft_tlb_flushes[&TlbFlushSite::Restore], 1);
+        // Must not perturb kernel counters or the recorded-event total.
+        assert_eq!(r.events_recorded, 0);
+        assert!(r.kernel.is_empty());
     }
 
     #[test]
