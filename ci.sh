@@ -10,6 +10,14 @@ cargo build --release --workspace
 echo '== cargo test -q =='
 cargo test -q --workspace
 
+echo '== crash-matrix gate (full cross product, deterministic, <60s) =='
+# Re-runs the exhaustive fault-injection matrix on its own with a hard
+# wall-clock ceiling: the matrix must stay cheap enough to never be
+# sampled or skipped in CI. (Binaries are already built by the test step,
+# so the 60 s budget is all matrix.)
+timeout 60 cargo test -q -p ckpt-restart --test crash_matrix -- --nocapture \
+    | grep -E 'crash matrix:|skipped:' | tail -20
+
 echo '== cargo clippy -- -D warnings =='
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -1,0 +1,39 @@
+//! Golden regression pin for `report c11`, the crash-matrix experiment.
+//!
+//! The matrix is fully deterministic — the site list comes from a
+//! recording pass, every scenario replays the same virtual schedule, and
+//! the report renders in fixed matrix order — so its entire output can be
+//! pinned byte-for-byte. Any change to fault classification, site
+//! enumeration, or restart behavior moves the hash and fails loudly.
+//!
+//! If an *intentional* change lands (a new site, a new mechanism column),
+//! regenerate: hash `./target/release/report c11`'s stdout with the
+//! FNV-1a 64 below and update both constants in the same commit.
+
+const GOLDEN_FNV1A64: u64 = 0xb280_6e1c_2f8d_fc3c;
+const GOLDEN_BYTES: usize = 3367;
+
+fn fnv1a64(data: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+#[test]
+fn report_c11_output_matches_pinned_baseline() {
+    // Exactly what the report binary prints: c11_crash_matrix() + "\n".
+    let out = format!("{}\n", ckpt_bench::c11_crash_matrix());
+    assert_eq!(
+        out.len(),
+        GOLDEN_BYTES,
+        "report c11 output length changed — crash matrix no longer baseline"
+    );
+    assert_eq!(
+        fnv1a64(out.as_bytes()),
+        GOLDEN_FNV1A64,
+        "report c11 output bytes changed — crash matrix no longer baseline"
+    );
+}

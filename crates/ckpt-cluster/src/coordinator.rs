@@ -16,7 +16,7 @@ use crate::cluster::Cluster;
 use crate::mpi::{MpiJob, RankRef};
 use ckpt_core::capture::{capture_image, restore_image, CaptureOptions, RestoreOptions, RestorePid};
 use ckpt_core::tracker::{Tracker, TrackerKind};
-use ckpt_storage::{load_latest_chain, store_image};
+use ckpt_storage::{image_key, load_chain_at, store_image};
 use simos::types::{SimError, SimResult};
 use std::collections::BTreeMap;
 
@@ -38,6 +38,10 @@ pub struct Coordinator {
     tracker_kind: TrackerKind,
     trackers: BTreeMap<u32, Tracker>,
     seq: u64,
+    /// Newest sequence number at which **every** rank's image landed. A
+    /// round that fails part-way burns its seq; restart loads chains
+    /// capped at this value so it can never mix rounds.
+    committed_seq: u64,
     /// Ranks recorded at the last completed checkpoint (for restart).
     saved_ranks: Vec<u32>,
     saved_pids: BTreeMap<u32, u32>,
@@ -51,6 +55,7 @@ impl Coordinator {
             tracker_kind,
             trackers: BTreeMap::new(),
             seq: 0,
+            committed_seq: 0,
             saved_ranks: Vec::new(),
             saved_pids: BTreeMap::new(),
             outcomes: Vec::new(),
@@ -59,60 +64,45 @@ impl Coordinator {
 
     /// Take a coordinated checkpoint of every rank. Must be called at a
     /// superstep boundary (quiescent channels).
+    ///
+    /// The round is transactional: the previous checkpoint stays the
+    /// recovery point until **every** rank's image has landed. A failure
+    /// part-way (a node lost mid-round, a store fault) returns a typed
+    /// error, best-effort deletes the partial images, burns the round's
+    /// sequence number, and leaves [`Coordinator::restart`] pointing at
+    /// the last fully committed cut — never at a mix of rounds.
     pub fn checkpoint(&mut self, cluster: &mut Cluster, job: &MpiJob) -> SimResult<CoordOutcome> {
         let t0 = cluster.now();
         self.seq += 1;
         let seq = self.seq;
-        let incremental = self.seq > 1 && self.tracker_kind.supports_incremental();
+        // An incremental round is only valid when its parent (seq - 1) is
+        // the committed cut; after an aborted round the seq gap forces the
+        // next round full, which also re-baselines every tracker.
+        let incremental = self.committed_seq > 0
+            && self.committed_seq + 1 == seq
+            && self.tracker_kind.supports_incremental();
         let mut total_bytes = 0u64;
         let mut max_node_time = t0;
-        self.saved_ranks.clear();
-        self.saved_pids.clear();
+        let mut staged: Vec<RankRef> = Vec::new();
         for r in &job.ranks {
-            let tracker = self
-                .trackers
-                .entry(r.rank)
-                .or_insert_with(|| Tracker::new(self.tracker_kind));
-            let remote = cluster.nodes[r.node.0 as usize].remote.clone();
-            let k = cluster
-                .node(r.node)
-                .kernel()
-                .ok_or_else(|| SimError::Usage(format!("{} down during checkpoint", r.node)))?;
-            k.freeze_process(r.pid)?;
-            let opts = if incremental && tracker.is_armed() {
-                let c = tracker.collect(k, r.pid)?;
-                let mut o = CaptureOptions::incremental("coordinated", seq, seq - 1, c.pages);
-                o.node = r.node.0;
-                o
-            } else {
-                let mut o = CaptureOptions::full("coordinated", seq);
-                o.node = r.node.0;
-                o
-            };
-            let mut img = capture_image(k, r.pid, &opts)?;
-            // Key images by *rank*, which is stable across migrations.
-            img.header.pid = r.rank;
-            let (receipt, store_label) = {
-                let mut s = remote.lock();
-                let r = store_image(s.as_mut(), &self.job_key, &img, &k.cost)
-                    .map_err(|e| SimError::Usage(format!("coordinated store failed: {e}")))?;
-                (r, s.label())
-            };
-            k.trace.storage(
-                simos::trace::StorageOp::Store,
-                &store_label,
-                receipt.bytes,
-                receipt.time_ns,
-            );
-            let t = k.cost.memcpy(receipt.bytes) + receipt.time_ns;
-            k.charge(t);
-            total_bytes += receipt.bytes;
-            tracker.arm(k, r.pid)?;
-            k.thaw_process(r.pid)?;
-            max_node_time = max_node_time.max(k.now());
-            self.saved_ranks.push(r.rank);
-            self.saved_pids.insert(r.rank, r.pid.0);
+            match self.checkpoint_rank(cluster, *r, seq, incremental) {
+                Ok(bytes) => {
+                    total_bytes += bytes;
+                    if let Some(k) = cluster.node(r.node).kernel() {
+                        max_node_time = max_node_time.max(k.now());
+                    }
+                    staged.push(*r);
+                }
+                Err(e) => {
+                    self.abort_round(cluster, seq, &staged);
+                    return Err(e);
+                }
+            }
         }
+        // Commit point: all ranks landed.
+        self.committed_seq = seq;
+        self.saved_ranks = staged.iter().map(|r| r.rank).collect();
+        self.saved_pids = staged.iter().map(|r| (r.rank, r.pid.0)).collect();
         // Barrier: every node waits for the slowest checkpoint.
         let target = max_node_time;
         for node in cluster.alive_nodes() {
@@ -141,9 +131,84 @@ impl Coordinator {
         Ok(outcome)
     }
 
+    /// Freeze, capture, store, re-arm, and thaw one rank. On any error the
+    /// rank is thawed best-effort and nothing is recorded.
+    fn checkpoint_rank(
+        &mut self,
+        cluster: &mut Cluster,
+        r: RankRef,
+        seq: u64,
+        incremental: bool,
+    ) -> SimResult<u64> {
+        let tracker = self
+            .trackers
+            .entry(r.rank)
+            .or_insert_with(|| Tracker::new(self.tracker_kind));
+        let remote = cluster.nodes[r.node.0 as usize].remote.clone();
+        let job_key = self.job_key.clone();
+        let k = cluster
+            .node(r.node)
+            .kernel()
+            .ok_or_else(|| SimError::Usage(format!("{} down during checkpoint", r.node)))?;
+        k.freeze_process(r.pid)?;
+        let result = (|| -> SimResult<u64> {
+            let opts = if incremental && tracker.is_armed() {
+                let c = tracker.collect(k, r.pid)?;
+                let mut o = CaptureOptions::incremental("coordinated", seq, seq - 1, c.pages);
+                o.node = r.node.0;
+                o
+            } else {
+                let mut o = CaptureOptions::full("coordinated", seq);
+                o.node = r.node.0;
+                o
+            };
+            let mut img = capture_image(k, r.pid, &opts)?;
+            // Key images by *rank*, which is stable across migrations.
+            img.header.pid = r.rank;
+            let (receipt, store_label) = {
+                let mut s = remote.lock();
+                let rc = store_image(s.as_mut(), &job_key, &img, &k.cost)
+                    .map_err(|e| SimError::Usage(format!("coordinated store failed: {e}")))?;
+                (rc, s.label())
+            };
+            k.trace.storage(
+                simos::trace::StorageOp::Store,
+                &store_label,
+                receipt.bytes,
+                receipt.time_ns,
+            );
+            let t = k.cost.memcpy(receipt.bytes) + receipt.time_ns;
+            k.charge(t);
+            tracker.arm(k, r.pid)?;
+            Ok(receipt.bytes)
+        })();
+        match result {
+            Ok(bytes) => {
+                k.thaw_process(r.pid)?;
+                Ok(bytes)
+            }
+            Err(e) => {
+                let _ = k.thaw_process(r.pid);
+                Err(e)
+            }
+        }
+    }
+
+    /// Best-effort removal of an aborted round's partial images. A remote
+    /// that is unreachable (its node just died) simply keeps the orphan;
+    /// correctness does not depend on this cleanup because restart loads
+    /// are capped at [`Self::committed_seq`].
+    fn abort_round(&mut self, cluster: &mut Cluster, seq: u64, staged: &[RankRef]) {
+        for r in staged {
+            let remote = cluster.nodes[r.node.0 as usize].remote.clone();
+            let mut s = remote.lock();
+            let _ = s.delete(&image_key(&self.job_key, r.rank, seq));
+        }
+    }
+
     /// Whether a completed checkpoint exists to recover from.
     pub fn has_checkpoint(&self) -> bool {
-        self.seq > 0 && !self.saved_ranks.is_empty()
+        self.committed_seq > 0 && !self.saved_ranks.is_empty()
     }
 
     /// Restart every rank of the job from the newest coordinated
@@ -176,8 +241,9 @@ impl Coordinator {
             let k = cluster.node(node).kernel().expect("alive");
             let (full, load_ns, load_label) = {
                 let s = remote.lock();
-                let (img, t) = load_latest_chain(&**s, &self.job_key, rank, &k.cost)
-                    .map_err(|e| SimError::Usage(format!("coordinated load failed: {e}")))?;
+                let (img, t) =
+                    load_chain_at(&**s, &self.job_key, rank, self.committed_seq, &k.cost)
+                        .map_err(|e| SimError::Usage(format!("coordinated load failed: {e}")))?;
                 (img, t, s.label())
             };
             k.charge(load_ns);

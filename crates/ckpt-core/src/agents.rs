@@ -152,6 +152,7 @@ impl UserCkptAgent {
         let next_seq = self.seq + 1;
         // The library runs in the application's own context (handler or
         // inserted call): the app is quiescent for free.
+        k.faultpoint(&self.cfg.name, "freeze")?;
         k.trace
             .phase(&self.cfg.name, Phase::Freeze, pid.0, next_seq, t0, 0);
         self.gather_state(k, pid)?;
@@ -160,6 +161,7 @@ impl UserCkptAgent {
             && self.tracker.is_armed()
             && !(self.cfg.full_every > 0 && next_seq - self.last_full_seq >= self.cfg.full_every);
         let (opts, logical) = if incremental_ok {
+            k.faultpoint(&self.cfg.name, "walk")?;
             let c = self.tracker.collect(k, pid)?;
             (
                 {
@@ -191,6 +193,7 @@ impl UserCkptAgent {
         let kind = opts.kind;
         // The library serializes its own state; the page copies charged by
         // capture_image stand in for the user-space copy loop.
+        k.faultpoint(&self.cfg.name, "capture")?;
         let cap0 = k.now();
         let img = capture_image(k, pid, &opts)?;
         k.trace.phase(
@@ -205,6 +208,8 @@ impl UserCkptAgent {
         let memory_bytes = img.memory_bytes();
         // Image I/O: write() loop in chunks — the user-level tax the
         // system-level mechanisms do not pay.
+        k.faultpoint(&self.cfg.name, "compress")?;
+        k.faultpoint(&self.cfg.name, "store")?;
         let encoded_len;
         let storage_ns;
         {
@@ -240,9 +245,10 @@ impl UserCkptAgent {
         self.seq = next_seq;
         if kind == ImageKind::Full {
             self.last_full_seq = next_seq;
+            k.faultpoint(&self.cfg.name, "prune")?;
             let prune0 = k.now();
             let mut storage = self.storage.lock();
-            let _ = prune_before(storage.as_mut(), &self.cfg.job, pid.0, next_seq);
+            let _ = prune_before(storage.as_mut(), &self.cfg.job, pid.0, next_seq, &k.cost);
             drop(storage);
             k.trace.phase(
                 &self.cfg.name,
@@ -254,6 +260,7 @@ impl UserCkptAgent {
             );
         }
         if self.tracker.kind().supports_incremental() {
+            k.faultpoint(&self.cfg.name, "rearm")?;
             let arm0 = k.now();
             self.tracker.arm(k, pid)?;
             k.trace.phase(
@@ -266,6 +273,7 @@ impl UserCkptAgent {
             );
         }
         let total_ns = k.now() - t0;
+        k.faultpoint(&self.cfg.name, "resume")?;
         k.trace
             .phase(&self.cfg.name, Phase::Resume, pid.0, next_seq, k.now(), 0);
         crate::mechanism::emit_phase_residual(

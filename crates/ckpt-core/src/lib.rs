@@ -24,6 +24,7 @@
 pub mod agents;
 pub mod autonomic;
 pub mod capture;
+pub mod crashpoint;
 pub mod mechanism;
 pub mod pod;
 pub mod policy;

@@ -120,6 +120,9 @@ impl KernelModule for ForkCkptModule {
         let initiated_at = k.now();
         let trace0 = k.trace.mechanism_total(&self.name);
         let t0 = k.now();
+        // The fork is this scheme's freeze point: the only moment the
+        // application is stalled.
+        k.faultpoint(&self.name, "fork").map_err(|_| Errno::EINTR)?;
         let child = k.fork_process(target).map_err(|_| Errno::EAGAIN)?;
         // The child is born Stopped (consistent copy); the parent's stall
         // is exactly the fork duration.
@@ -144,6 +147,11 @@ impl KernelModule for ForkCkptModule {
             let Some(req) = self.queue.pop_front() else {
                 return KthreadStatus::Sleep;
             };
+            if k.faultpoint(&self.name, "capture").is_err() {
+                self.failures += 1;
+                self.cleanup_child(k, &req);
+                return self.next_status();
+            }
             let pages_left: Vec<u64> = match k.process(req.child) {
                 Some(c) => c.mem.resident_pages().collect(),
                 None => {
@@ -202,6 +210,11 @@ impl KernelModule for ForkCkptModule {
                 img.pages.sort_by_key(|p| p.page_no);
                 // The image must restore as the *parent*.
                 img.header.pid = req.parent.0;
+                if k.faultpoint(&self.name, "store").is_err() {
+                    self.failures += 1;
+                    self.cleanup_child(k, &req);
+                    return self.next_status();
+                }
                 let (stored, store_label) = {
                     let mut storage = self.storage.lock();
                     let r = store_image(storage.as_mut(), &self.job, &img, &k.cost);
@@ -243,6 +256,13 @@ impl KernelModule for ForkCkptModule {
                 );
                 k.trace
                     .phase(&self.name, Phase::Store, req.parent.0, seq, k.now(), storage_ns);
+                if k.faultpoint(&self.name, "resume").is_err() {
+                    // The image is already durable; only the request's
+                    // completion is lost.
+                    self.failures += 1;
+                    self.cleanup_child(k, &req);
+                    return self.next_status();
+                }
                 k.trace
                     .phase(&self.name, Phase::Resume, req.parent.0, seq, k.now(), 0);
                 super::emit_phase_residual(k, &self.name, req.parent, seq, total_ns, req.trace0);

@@ -81,6 +81,10 @@ impl Mechanism for HardwareMechanism {
         let t0 = k.now();
         let seq = self.engine.seq() + 1;
         k.freeze_process(pid)?;
+        if let Err(e) = k.faultpoint(self.engine.mechanism_name(), "freeze") {
+            let _ = k.thaw_process(pid);
+            return Err(e);
+        }
         {
             let name = self.engine.mechanism_name();
             k.trace.phase(name, Phase::Freeze, pid.0, seq, k.now(), k.now() - t0);
@@ -88,6 +92,7 @@ impl Mechanism for HardwareMechanism {
         let stall_start = k.now();
         let mut outcome = self.engine.checkpoint_in_kernel(k, pid)?;
         k.thaw_process(pid)?;
+        k.faultpoint(self.engine.mechanism_name(), "resume")?;
         {
             let name = self.engine.mechanism_name();
             k.trace.phase(name, Phase::Resume, pid.0, seq, k.now(), 0);

@@ -66,6 +66,7 @@ impl SoftwareSuspend {
             .into_iter()
             .filter(|p| k.process(*p).map(|p| !p.has_exited()).unwrap_or(false))
             .collect();
+        k.faultpoint(&self.job, "freeze")?;
         for pid in &pids {
             let t = k.cost.signal_deliver_ns;
             k.charge(t);
@@ -79,13 +80,18 @@ impl SoftwareSuspend {
         let mut bytes = 0u64;
         let mut capture_ns = 0u64;
         let mut store_ns = 0u64;
-        self.saved_pids.clear();
+        // The image is committed only once *every* process has been saved:
+        // a crash mid-loop must not leave a partial pid set that a later
+        // boot would silently resume as a truncated machine.
+        let mut committed = Vec::new();
         for pid in &pids {
+            k.faultpoint(&self.job, "capture")?;
             let mut opts = CaptureOptions::full("swsusp", self.seq);
             opts.save_file_contents = true;
             let cap0 = k.now();
             let img = capture_image(k, *pid, &opts)?;
             capture_ns += k.now() - cap0;
+            k.faultpoint(&self.job, "store")?;
             let (b, t) = {
                 let mut storage = self.storage.lock();
                 let receipt = store_image(storage.as_mut(), &self.job, &img, &k.cost)
@@ -98,14 +104,16 @@ impl SoftwareSuspend {
             bytes += b;
             k.charge(t);
             store_ns += t;
-            self.saved_pids.push(pid.0);
+            committed.push(pid.0);
         }
+        self.saved_pids = committed;
         k.trace
             .phase(&self.job, Phase::Capture, lead, self.seq, k.now(), capture_ns);
         k.trace
             .phase(&self.job, Phase::Store, lead, self.seq, k.now(), store_ns);
         // Execution resumes only at the next boot; the zero-cost marker
         // closes the phase sequence for this round.
+        k.faultpoint(&self.job, "resume")?;
         k.trace.phase(&self.job, Phase::Resume, lead, self.seq, k.now(), 0);
         crate::mechanism::emit_phase_residual(
             k,
@@ -128,8 +136,14 @@ impl SoftwareSuspend {
     /// Boot-time resume: restore every saved process onto a fresh kernel,
     /// under original pids.
     pub fn resume(&mut self, k: &mut Kernel) -> SimResult<Vec<Pid>> {
+        if self.saved_pids.is_empty() {
+            return Err(SimError::Usage(
+                "swsusp resume: no committed hibernation image".into(),
+            ));
+        }
         let mut restored = Vec::new();
         for pid in self.saved_pids.clone() {
+            k.faultpoint(&self.job, "restore")?;
             let (img, t) = {
                 let storage = self.storage.lock();
                 let key = image_key(&self.job, pid, self.seq);

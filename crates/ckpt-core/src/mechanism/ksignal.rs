@@ -123,6 +123,10 @@ impl KernelModule for ChpoxModule {
         }
         // Running in the target's own kernel context: the target is
         // quiescent by construction, so the freeze is free.
+        if k.faultpoint(&self.name, "freeze").is_err() {
+            self.initiated_at.remove(&pid.0);
+            return true;
+        }
         k.trace.phase(&self.name, Phase::Freeze, pid.0, seq, k.now(), 0);
         let engine = self.engines.get_mut(&pid.0).expect("checked above");
         match engine.checkpoint_in_kernel(k, pid) {
@@ -130,6 +134,11 @@ impl KernelModule for ChpoxModule {
                 // Fold in the deferral between initiation and delivery.
                 if let Some(t0) = self.initiated_at.remove(&pid.0) {
                     outcome.total_ns = k.now() - t0;
+                }
+                if k.faultpoint(&self.name, "resume").is_err() {
+                    // The image is durable; only the resume notification
+                    // was lost with the fault.
+                    return true;
                 }
                 k.trace
                     .phase(&self.name, Phase::Resume, pid.0, seq, k.now(), 0);

@@ -217,6 +217,14 @@ impl KernelModule for CkptKthreadModule {
         // Consistency: stop the application ("removing it from its
         // runqueue list").
         let f0 = k.now();
+        if k.faultpoint(&self.name, "freeze").is_err() {
+            self.requests_failed += 1;
+            return if self.queue.is_empty() {
+                KthreadStatus::Sleep
+            } else {
+                KthreadStatus::Yield
+            };
+        }
         if k.freeze_process(target).is_err() {
             self.requests_failed += 1;
             return if self.queue.is_empty() {
@@ -237,6 +245,16 @@ impl KernelModule for CkptKthreadModule {
         match engine.checkpoint_in_kernel(k, target) {
             Ok(mut outcome) => {
                 let _ = k.thaw_process(target);
+                if k.faultpoint(&self.name, "resume").is_err() {
+                    // Image is durable but the request never completed from
+                    // the tool's point of view: no outcome is recorded.
+                    self.requests_failed += 1;
+                    return if self.queue.is_empty() {
+                        KthreadStatus::Sleep
+                    } else {
+                        KthreadStatus::Yield
+                    };
+                }
                 k.trace
                     .phase(&self.name, Phase::Resume, pid_raw, seq, k.now(), 0);
                 outcome.app_stall_ns = k.now() - stall_start;

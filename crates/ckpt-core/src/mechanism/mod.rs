@@ -26,8 +26,8 @@ use crate::capture::{capture_image, restore_image, CaptureOptions, RestoreOption
 use crate::report::{CkptOutcome, RestartOutcome};
 use crate::tracker::{Tracker, TrackerKind};
 use crate::SharedStorage;
-use ckpt_image::ImageKind;
-use ckpt_storage::{load_latest_chain, prune_before, store_image};
+use ckpt_image::{ChainError, ImageKind};
+use ckpt_storage::{load_latest_valid_chain, prune_before, store_image};
 use simos::trace::{Phase, StorageOp};
 use simos::types::{Pid, SimError, SimResult};
 use simos::Kernel;
@@ -261,6 +261,7 @@ impl KernelCkptEngine {
             && self.tracker.is_armed()
             && !(self.full_every > 0 && next_seq - self.last_full_seq >= self.full_every);
         let (opts, logical_dirty) = if incremental_ok {
+            k.faultpoint(&self.mechanism_name, "walk")?;
             let walk0 = k.now();
             let collected = self.tracker.collect(k, pid)?;
             k.trace.phase(
@@ -289,6 +290,7 @@ impl KernelCkptEngine {
             (o, 0)
         };
         let kind = opts.kind;
+        k.faultpoint(&self.mechanism_name, "capture")?;
         let cap0 = k.now();
         let img = capture_image(k, pid, &opts)?;
         k.trace.phase(
@@ -307,6 +309,8 @@ impl KernelCkptEngine {
             logical_dirty
         };
         // Serialize (charged as a kernel copy) and store.
+        k.faultpoint(&self.mechanism_name, "compress")?;
+        k.faultpoint(&self.mechanism_name, "store")?;
         let encoded_len;
         let storage_ns;
         {
@@ -342,10 +346,11 @@ impl KernelCkptEngine {
         if kind == ImageKind::Full {
             self.last_full_seq = next_seq;
             if self.prune {
+                k.faultpoint(&self.mechanism_name, "prune")?;
                 let prune0 = k.now();
                 let mut storage = self.storage.lock();
                 let label = storage.label();
-                let _ = prune_before(storage.as_mut(), &self.job, pid.0, next_seq);
+                let _ = prune_before(storage.as_mut(), &self.job, pid.0, next_seq, &k.cost);
                 drop(storage);
                 k.trace.storage(StorageOp::Delete, &label, 0, 0);
                 k.trace.phase(
@@ -360,6 +365,7 @@ impl KernelCkptEngine {
         }
         // Begin the next tracking interval.
         if self.tracker.kind().supports_incremental() {
+            k.faultpoint(&self.mechanism_name, "rearm")?;
             let arm0 = k.now();
             self.tracker.arm(k, pid)?;
             k.trace.phase(
@@ -418,11 +424,25 @@ pub fn restart_from_shared(
             .iter()
             .filter(|key| key.starts_with(&format!("{}/pid{}/", job, target.0)))
             .count() as u64;
-        let (img, t) = load_latest_chain(&**storage, job, target.0, &k.cost)
-            .map_err(|e| SimError::Usage(format!("restart load failed: {e}")))?;
-        (img, t, keys, storage.label())
+        // Resilient load: torn/corrupt debris from a mid-checkpoint crash
+        // is rejected by CRC/format validation and the loader falls back
+        // to the newest intact chain. Chain-segment boundaries are
+        // themselves injection sites (`chain/seg<seq>`).
+        let faults = k.faults.clone();
+        let load = load_latest_valid_chain(&**storage, job, target.0, &k.cost, |seq| {
+            if faults.is_off() {
+                return Ok(());
+            }
+            match faults.check(&format!("chain/seg{seq}"), 0) {
+                None => Ok(()),
+                Some(_) => Err(ChainError::Interrupted { at_seq: seq }),
+            }
+        })
+        .map_err(|e| SimError::Usage(format!("restart load failed: {e}")))?;
+        (load.image, load.load_ns, keys, storage.label())
     };
     k.charge(load_ns);
+    k.faultpoint("restart", "restore")?;
     // Stored encodings are not retained after chain reconstruction; report
     // the decoded image size.
     k.trace
@@ -482,7 +502,15 @@ pub fn run_until(
     mut done: impl FnMut(&mut Kernel) -> bool,
 ) -> SimResult<()> {
     let deadline = k.now().saturating_add(limit_ns);
+    // A fault already consumed before this wait (e.g. during an earlier
+    // checkpoint) must not poison it — bail only on *newly* fired faults.
+    let fired_at_entry = k.faults.fired().is_some();
     while !done(k) {
+        if !fired_at_entry {
+            if let Some(site) = k.faults.fired() {
+                return Err(SimError::InjectedFault { site });
+            }
+        }
         if k.now() >= deadline {
             return Err(SimError::Timeout(what.to_string()));
         }

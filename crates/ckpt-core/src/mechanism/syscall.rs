@@ -79,6 +79,7 @@ impl CkptSyscallModule {
         // In-context (self) checkpoints need no freeze: the process is
         // executing this very code. By-pid checkpoints must stop the
         // target first.
+        k.faultpoint(&self.name, "freeze").map_err(|_| Errno::EINTR)?;
         let froze = if !in_context {
             let f0 = k.now();
             k.freeze_process(target).map_err(|_| Errno::ESRCH)?;
@@ -95,6 +96,7 @@ impl CkptSyscallModule {
         if froze {
             let _ = k.thaw_process(target);
         }
+        k.faultpoint(&self.name, "resume").map_err(|_| Errno::EINTR)?;
         k.trace
             .phase(&self.name, Phase::Resume, target.0, seq, k.now(), 0);
         match res {

@@ -23,6 +23,12 @@ pub enum ChainError {
     },
     /// Images from different processes mixed into one chain.
     PidMismatch { expected: u32, found: u32 },
+    /// A segment observer aborted the overlay (e.g. an injected fault at a
+    /// chain-segment boundary during restart).
+    Interrupted { at_seq: u64 },
+    /// Pruning below this point would delete the parent an incremental
+    /// image still depends on, leaving `orphan_seq` unrestorable.
+    PruneWouldOrphan { keep_from_seq: u64, orphan_seq: u64 },
 }
 
 impl std::fmt::Display for ChainError {
@@ -41,6 +47,16 @@ impl std::fmt::Display for ChainError {
             ChainError::PidMismatch { expected, found } => {
                 write!(f, "pid mismatch in chain: expected {expected}, found {found}")
             }
+            ChainError::Interrupted { at_seq } => {
+                write!(f, "chain overlay interrupted at segment seq {at_seq}")
+            }
+            ChainError::PruneWouldOrphan {
+                keep_from_seq,
+                orphan_seq,
+            } => write!(
+                f,
+                "pruning below seq {keep_from_seq} would orphan incremental seq {orphan_seq}"
+            ),
         }
     }
 }
@@ -79,10 +95,23 @@ pub fn validate(chain: &[CheckpointImage]) -> Result<(), ChainError> {
 /// taken from the **last** image (registers, fds, signal state move
 /// forward); pages accumulate with later images winning.
 pub fn reconstruct(chain: &[CheckpointImage]) -> Result<CheckpointImage, ChainError> {
+    reconstruct_with(chain, |_| Ok(()))
+}
+
+/// [`reconstruct`], invoking `on_segment` with each image's sequence
+/// number before overlaying it. The observer may abort the overlay by
+/// returning an error (the crashpoint matrix uses this to model a fault
+/// landing between chain segments during restart); this crate stays free
+/// of any simulator dependency.
+pub fn reconstruct_with(
+    chain: &[CheckpointImage],
+    mut on_segment: impl FnMut(u64) -> Result<(), ChainError>,
+) -> Result<CheckpointImage, ChainError> {
     validate(chain)?;
     let last = chain.last().expect("validated non-empty");
     let mut pages: BTreeMap<u64, PageRecord> = BTreeMap::new();
     for img in chain {
+        on_segment(img.header.seq)?;
         for p in &img.pages {
             pages.insert(p.page_no, p.clone());
         }
@@ -196,6 +225,32 @@ mod tests {
             validate(&chain),
             Err(ChainError::BrokenLineage { .. })
         ));
+    }
+
+    #[test]
+    fn segment_observer_sees_every_seq_and_can_abort() {
+        let chain = vec![
+            img(1, 1, 0, ImageKind::Full, vec![(10, 1)]),
+            img(1, 2, 1, ImageKind::Incremental, vec![(11, 2)]),
+            img(1, 3, 2, ImageKind::Incremental, vec![(12, 3)]),
+        ];
+        let mut seen = Vec::new();
+        let full = reconstruct_with(&chain, |seq| {
+            seen.push(seq);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(seen, vec![1, 2, 3]);
+        assert_eq!(full.pages.len(), 3);
+
+        let aborted = reconstruct_with(&chain, |seq| {
+            if seq == 2 {
+                Err(ChainError::Interrupted { at_seq: seq })
+            } else {
+                Ok(())
+            }
+        });
+        assert_eq!(aborted, Err(ChainError::Interrupted { at_seq: 2 }));
     }
 
     #[test]

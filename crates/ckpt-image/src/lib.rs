@@ -23,7 +23,7 @@ pub mod compress;
 pub mod crc;
 pub mod format;
 
-pub use chain::{reconstruct, validate, ChainError};
+pub use chain::{reconstruct, reconstruct_with, validate, ChainError};
 pub use codec::{decode, encode, DecodeError};
 pub use compress::{decode_page, encode_page, PageEncoding};
 pub use crc::crc32;

@@ -28,6 +28,10 @@ pub enum StorageClass {
     Swap,
     /// A remote store reached over the interconnect.
     Remote,
+    /// Battery-backed (or flash) non-volatile RAM on the node: RAM-class
+    /// speed, survives power-down, but — like the local disk — dies with
+    /// the node for retrieval purposes until the node is repaired.
+    Nvram,
 }
 
 impl StorageClass {
@@ -41,8 +45,17 @@ impl StorageClass {
     pub fn survives_power_down(self) -> bool {
         matches!(
             self,
-            StorageClass::LocalDisk | StorageClass::Swap | StorageClass::Remote
+            StorageClass::LocalDisk
+                | StorageClass::Swap
+                | StorageClass::Remote
+                | StorageClass::Nvram
         )
+    }
+
+    /// Volatile media lose their *contents* when power is cut (power-down,
+    /// or the power loss implied by a fail-stop of the owning node).
+    pub fn is_volatile(self) -> bool {
+        !self.survives_power_down()
     }
 }
 
@@ -55,6 +68,9 @@ pub enum StorageError {
     NotFound(String),
     /// Capacity exceeded.
     NoSpace { need: u64, free: u64 },
+    /// A one-shot failure (dropped message, controller hiccup); retrying
+    /// the same operation may succeed.
+    Transient,
 }
 
 impl std::fmt::Display for StorageError {
@@ -65,6 +81,7 @@ impl std::fmt::Display for StorageError {
             StorageError::NoSpace { need, free } => {
                 write!(f, "no space: need {need} bytes, {free} free")
             }
+            StorageError::Transient => write!(f, "transient storage failure"),
         }
     }
 }
@@ -130,10 +147,15 @@ mod tests {
         assert!(!StorageClass::Ram.survives_node_loss());
         assert!(!StorageClass::Swap.survives_node_loss());
         assert!(StorageClass::Remote.survives_node_loss());
+        assert!(!StorageClass::Nvram.survives_node_loss());
 
         assert!(StorageClass::LocalDisk.survives_power_down());
         assert!(StorageClass::Swap.survives_power_down());
         assert!(!StorageClass::Ram.survives_power_down());
+        assert!(StorageClass::Nvram.survives_power_down());
+
+        assert!(StorageClass::Ram.is_volatile());
+        assert!(!StorageClass::Nvram.is_volatile());
     }
 
     #[test]

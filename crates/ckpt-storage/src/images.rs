@@ -2,7 +2,7 @@
 //! backend, including incremental-chain retrieval.
 
 use crate::backend::{image_key, StableStorage, StorageError, StoreReceipt};
-use ckpt_image::{decode, encode, CheckpointImage, DecodeError, ImageKind};
+use ckpt_image::{decode, encode, ChainError, CheckpointImage, DecodeError, ImageKind};
 use simos::cost::CostModel;
 
 /// Errors from the image layer.
@@ -75,11 +75,32 @@ pub fn load_latest_chain(
     pid: u32,
     cost: &CostModel,
 ) -> Result<(CheckpointImage, u64), ImageStoreError> {
+    load_chain_at(storage, job, pid, u64::MAX, cost)
+}
+
+/// Like [`load_latest_chain`], but ignoring any image newer than
+/// `max_seq`. A coordinator that failed mid-round may leave newer images
+/// for a *subset* of ranks; capping the load at the last seq known to have
+/// committed for **every** rank is what keeps a coordinated restart on a
+/// consistent cut.
+pub fn load_chain_at(
+    storage: &dyn StableStorage,
+    job: &str,
+    pid: u32,
+    max_seq: u64,
+    cost: &CostModel,
+) -> Result<(CheckpointImage, u64), ImageStoreError> {
     let prefix = format!("{job}/pid{pid}/");
     let mut keys: Vec<String> = storage
         .list()
         .into_iter()
-        .filter(|k| k.starts_with(&prefix))
+        .filter(|k| {
+            k.starts_with(&prefix)
+                && k[prefix.len()..]
+                    .trim_start_matches("seq")
+                    .parse::<u64>()
+                    .is_ok_and(|s| s <= max_seq)
+        })
         .collect();
     keys.sort();
     if keys.is_empty() {
@@ -103,21 +124,149 @@ pub fn load_latest_chain(
     Ok((full, total_t))
 }
 
+/// What [`load_latest_valid_chain`] recovered.
+#[derive(Debug)]
+pub struct ChainLoad {
+    /// The reconstructed full image of the newest restartable chain.
+    pub image: CheckpointImage,
+    /// Total modelled load time (the caller charges it).
+    pub load_ns: u64,
+    /// Objects actually loaded from the medium.
+    pub images_loaded: u64,
+    /// Objects that had to be discarded (torn/corrupt encodings, broken
+    /// lineage) before a restartable chain was found. Zero on the clean
+    /// path.
+    pub images_skipped: u64,
+}
+
+/// Like [`load_latest_chain`], but resilient: a torn or corrupt object —
+/// the debris a mid-checkpoint crash leaves behind — is discarded (along
+/// with any newer incrementals that depended on it) and the search falls
+/// back to the next older restartable chain. On the clean path this issues
+/// exactly the loads [`load_latest_chain`] would, with identical modelled
+/// cost.
+///
+/// `on_segment` is invoked with each segment's sequence number during the
+/// overlay (see [`ckpt_image::reconstruct_with`]); returning an error
+/// aborts the whole load — it models a fault at a chain-segment boundary,
+/// not a bad image, so no fallback is attempted.
+///
+/// Availability and transient errors from the medium also abort: they say
+/// nothing about image validity, and the caller may retry.
+pub fn load_latest_valid_chain(
+    storage: &dyn StableStorage,
+    job: &str,
+    pid: u32,
+    cost: &CostModel,
+    mut on_segment: impl FnMut(u64) -> Result<(), ChainError>,
+) -> Result<ChainLoad, ImageStoreError> {
+    let prefix = format!("{job}/pid{pid}/");
+    let mut keys: Vec<String> = storage
+        .list()
+        .into_iter()
+        .filter(|k| k.starts_with(&prefix))
+        .collect();
+    keys.sort();
+    if keys.is_empty() {
+        return Err(ImageStoreError::Storage(StorageError::NotFound(prefix)));
+    }
+    let mut total_t = 0u64;
+    let mut loaded = 0u64;
+    let mut skipped = 0u64;
+    // Newest-first walk of the current chain candidate; discarded wholesale
+    // when an object in it proves unusable.
+    let mut pending: Vec<CheckpointImage> = Vec::new();
+    let mut last_err: Option<ImageStoreError> = None;
+    for key in keys.iter().rev() {
+        let (bytes, t) = match storage.load(key, cost) {
+            Ok(v) => v,
+            Err(e @ (StorageError::Unavailable | StorageError::Transient)) => {
+                return Err(e.into());
+            }
+            Err(e) => {
+                skipped += 1 + pending.len() as u64;
+                pending.clear();
+                last_err = Some(e.into());
+                continue;
+            }
+        };
+        total_t += t;
+        loaded += 1;
+        let img = match decode(&bytes) {
+            Ok(i) => i,
+            Err(e) => {
+                skipped += 1 + pending.len() as u64;
+                pending.clear();
+                last_err = Some(e.into());
+                continue;
+            }
+        };
+        let is_full = img.header.kind == ImageKind::Full;
+        pending.push(img);
+        if !is_full {
+            continue;
+        }
+        let mut chain = std::mem::take(&mut pending);
+        chain.reverse();
+        match ckpt_image::reconstruct_with(&chain, &mut on_segment) {
+            Ok(image) => {
+                return Ok(ChainLoad {
+                    image,
+                    load_ns: total_t,
+                    images_loaded: loaded,
+                    images_skipped: skipped,
+                })
+            }
+            Err(e @ ChainError::Interrupted { .. }) => return Err(e.into()),
+            Err(e) => {
+                skipped += chain.len() as u64;
+                last_err = Some(e.into());
+            }
+        }
+    }
+    Err(last_err.unwrap_or(ImageStoreError::Storage(StorageError::NotFound(prefix))))
+}
+
 /// Delete all images of a pid older than `keep_from_seq` (garbage
-/// collection after a successful full checkpoint).
+/// collection after a successful full checkpoint) — unless doing so would
+/// orphan a kept incremental whose lineage reaches below the cutoff, which
+/// is rejected with [`ChainError::PruneWouldOrphan`] and deletes nothing.
 pub fn prune_before(
     storage: &mut dyn StableStorage,
     job: &str,
     pid: u32,
     keep_from_seq: u64,
+    cost: &CostModel,
 ) -> Result<usize, ImageStoreError> {
     let prefix = format!("{job}/pid{pid}/");
     let cutoff = image_key(job, pid, keep_from_seq);
-    let victims: Vec<String> = storage
-        .list()
-        .into_iter()
-        .filter(|k| k.starts_with(&prefix) && *k < cutoff)
-        .collect();
+    let mut victims = Vec::new();
+    let mut kept = Vec::new();
+    for k in storage.list() {
+        if !k.starts_with(&prefix) {
+            continue;
+        }
+        if k < cutoff {
+            victims.push(k);
+        } else {
+            kept.push(k);
+        }
+    }
+    if !victims.is_empty() {
+        kept.sort();
+        if let Some(first_kept) = kept.first() {
+            // The oldest surviving image must stand alone: if it is an
+            // incremental, its parent is about to be deleted.
+            let (bytes, _t) = storage.load(first_kept, cost)?;
+            let img = decode(&bytes)?;
+            if img.header.kind == ImageKind::Incremental {
+                return Err(ImageStoreError::Chain(ChainError::PruneWouldOrphan {
+                    keep_from_seq,
+                    orphan_seq: img.header.seq,
+                }));
+            }
+        }
+    }
     let n = victims.len();
     for k in victims {
         storage.delete(&k)?;
@@ -221,11 +370,103 @@ mod tests {
         ] {
             store_image(&mut disk, "job", &image, &c).unwrap();
         }
-        let n = prune_before(&mut disk, "job", 1, 3).unwrap();
+        let n = prune_before(&mut disk, "job", 1, 3, &c).unwrap();
         assert_eq!(n, 2);
         assert_eq!(disk.list().len(), 1);
         let (full, _) = load_latest_chain(&disk, "job", 1, &c).unwrap();
         assert_eq!(full.header.seq, 3);
+    }
+
+    #[test]
+    fn prune_that_would_orphan_an_incremental_is_rejected() {
+        let mut disk = LocalDisk::new(1 << 30);
+        let c = CostModel::circa_2005();
+        for image in [
+            img(1, 0, ImageKind::Full, vec![(1, 1)]),
+            img(2, 1, ImageKind::Incremental, vec![(2, 2)]),
+            img(3, 2, ImageKind::Incremental, vec![(3, 3)]),
+        ] {
+            store_image(&mut disk, "job", &image, &c).unwrap();
+        }
+        // Cutting at seq 2 would delete the full image seq 2 depends on.
+        let err = prune_before(&mut disk, "job", 1, 2, &c).unwrap_err();
+        assert!(matches!(
+            err,
+            ImageStoreError::Chain(ChainError::PruneWouldOrphan {
+                keep_from_seq: 2,
+                orphan_seq: 2
+            })
+        ));
+        assert_eq!(disk.list().len(), 3, "rejected prune must delete nothing");
+        // Cutting at seq 1 (the full) keeps the chain intact and is a no-op.
+        assert_eq!(prune_before(&mut disk, "job", 1, 1, &c).unwrap(), 0);
+    }
+
+    #[test]
+    fn valid_chain_loader_matches_plain_loader_on_clean_storage() {
+        let mut disk = LocalDisk::new(1 << 30);
+        let c = CostModel::circa_2005();
+        for image in [
+            img(1, 0, ImageKind::Full, vec![(1, 1)]),
+            img(2, 1, ImageKind::Incremental, vec![(2, 2)]),
+        ] {
+            store_image(&mut disk, "job", &image, &c).unwrap();
+        }
+        let (plain, t_plain) = load_latest_chain(&disk, "job", 1, &c).unwrap();
+        let r = load_latest_valid_chain(&disk, "job", 1, &c, |_| Ok(())).unwrap();
+        assert_eq!(r.image, plain);
+        assert_eq!(r.load_ns, t_plain, "clean path must charge identically");
+        assert_eq!(r.images_loaded, 2);
+        assert_eq!(r.images_skipped, 0);
+    }
+
+    #[test]
+    fn valid_chain_loader_falls_back_past_torn_tip() {
+        let mut disk = LocalDisk::new(1 << 30);
+        let c = CostModel::circa_2005();
+        for image in [
+            img(1, 0, ImageKind::Full, vec![(1, 1)]),
+            img(2, 1, ImageKind::Incremental, vec![(2, 2)]),
+        ] {
+            store_image(&mut disk, "job", &image, &c).unwrap();
+        }
+        // A crash tore the newest incremental (seq 3) mid-write.
+        let full3 = encode(&img(3, 2, ImageKind::Incremental, vec![(3, 3)]));
+        disk.store(&image_key("job", 1, 3), &full3[..full3.len() / 2], &c)
+            .unwrap();
+        assert!(
+            load_latest_chain(&disk, "job", 1, &c).is_err(),
+            "the plain loader chokes on the torn tip"
+        );
+        let r = load_latest_valid_chain(&disk, "job", 1, &c, |_| Ok(())).unwrap();
+        assert_eq!(r.image.header.seq, 2, "fell back to the intact chain");
+        assert_eq!(r.images_skipped, 1);
+    }
+
+    #[test]
+    fn valid_chain_loader_reports_typed_error_when_nothing_survives() {
+        let mut disk = LocalDisk::new(1 << 30);
+        let c = CostModel::circa_2005();
+        let full = encode(&img(1, 0, ImageKind::Full, vec![(1, 1)]));
+        disk.store(&image_key("job", 1, 1), &full[..10], &c).unwrap();
+        assert!(matches!(
+            load_latest_valid_chain(&disk, "job", 1, &c, |_| Ok(())),
+            Err(ImageStoreError::Decode(_))
+        ));
+    }
+
+    #[test]
+    fn valid_chain_loader_segment_observer_can_abort() {
+        let mut disk = LocalDisk::new(1 << 30);
+        let c = CostModel::circa_2005();
+        store_image(&mut disk, "job", &img(1, 0, ImageKind::Full, vec![(1, 1)]), &c).unwrap();
+        let r = load_latest_valid_chain(&disk, "job", 1, &c, |seq| {
+            Err(ChainError::Interrupted { at_seq: seq })
+        });
+        assert!(matches!(
+            r,
+            Err(ImageStoreError::Chain(ChainError::Interrupted { at_seq: 1 }))
+        ));
     }
 
     #[test]

@@ -1,17 +1,24 @@
 //! # ckpt-storage — stable storage with availability semantics
 //!
 //! Where a checkpoint lives determines what failures it survives. This
-//! crate provides the four media of the paper's Table 1 "stable storage"
-//! column — node RAM, local disk, swap partition, remote store — each with
-//! a bandwidth/latency cost model and explicit fail-stop semantics
-//! ([`backend::StorageClass::survives_node_loss`]), plus an image layer
-//! that stores/retrieves [`ckpt_image::CheckpointImage`]s and reconstructs
-//! the latest incremental chain.
+//! crate provides the media of the paper's Table 1 "stable storage"
+//! column — node RAM, local disk, swap partition, battery-backed NVRAM,
+//! remote store — each with a bandwidth/latency cost model and explicit
+//! fail-stop semantics ([`backend::StorageClass::survives_node_loss`]),
+//! plus an image layer that stores/retrieves
+//! [`ckpt_image::CheckpointImage`]s and reconstructs the latest
+//! incremental chain, and a fault-injecting decorator ([`inject`]) that
+//! exposes per-store/load crash sites to the crashpoint matrix.
 
 pub mod backend;
 pub mod images;
+pub mod inject;
 pub mod media;
 
 pub use backend::{image_key, StableStorage, StorageClass, StorageError, StoreReceipt};
-pub use images::{load_image, load_latest_chain, prune_before, store_image, ImageStoreError};
-pub use media::{LocalDisk, RamStore, RemoteServer, RemoteStore, SwapStore};
+pub use images::{
+    load_chain_at, load_image, load_latest_chain, load_latest_valid_chain, prune_before, store_image,
+    ChainLoad, ImageStoreError,
+};
+pub use inject::FaultInjectStore;
+pub use media::{LocalDisk, NvramStore, RamStore, RemoteServer, RemoteStore, SwapStore};

@@ -107,14 +107,19 @@ impl StableStorage for RamStore {
         used_of(&self.objects)
     }
     fn on_node_failure(&mut self) {
-        self.objects.clear();
+        // A fail-stop cuts power: volatile contents are gone.
+        if self.class().is_volatile() {
+            self.objects.clear();
+        }
         self.available = false;
     }
     fn on_node_repair(&mut self) {
         self.available = true; // but contents are gone
     }
     fn on_power_down(&mut self) {
-        self.objects.clear();
+        if self.class().is_volatile() {
+            self.objects.clear();
+        }
     }
 }
 
@@ -196,7 +201,13 @@ impl StableStorage for LocalDisk {
     fn on_node_repair(&mut self) {
         self.available = true;
     }
-    fn on_power_down(&mut self) {}
+    fn on_power_down(&mut self) {
+        // Non-volatile: contents survive the power cycle, and the medium
+        // comes back with the machine, so availability is untouched.
+        if self.class().is_volatile() {
+            self.objects.clear();
+        }
+    }
 }
 
 /// The swap partition: contiguous, one seek regardless of size — where
@@ -277,7 +288,100 @@ impl StableStorage for SwapStore {
     fn on_node_repair(&mut self) {
         self.available = true;
     }
-    fn on_power_down(&mut self) {}
+    fn on_power_down(&mut self) {
+        if self.class().is_volatile() {
+            self.objects.clear();
+        }
+    }
+}
+
+/// Battery-backed NVRAM on the node's memory bus: RAM-class transfer speed
+/// (modelled at half DRAM bandwidth for the battery-backed write path, no
+/// seek), survives power-down, but — like the local disk — is unreachable
+/// while the node is failed, with contents intact after repair.
+#[derive(Debug)]
+pub struct NvramStore {
+    objects: BTreeMap<String, Vec<u8>>,
+    capacity: u64,
+    available: bool,
+}
+
+impl NvramStore {
+    pub fn new(capacity: u64) -> Self {
+        NvramStore {
+            objects: BTreeMap::new(),
+            capacity,
+            available: true,
+        }
+    }
+
+    fn xfer_ns(len: usize, cost: &CostModel) -> u64 {
+        (len as f64 * cost.ram_store_ns_per_byte * 2.0).round() as u64
+    }
+}
+
+impl StableStorage for NvramStore {
+    fn class(&self) -> StorageClass {
+        StorageClass::Nvram
+    }
+    fn label(&self) -> String {
+        "nvram".into()
+    }
+    fn store(
+        &mut self,
+        key: &str,
+        data: &[u8],
+        cost: &CostModel,
+    ) -> Result<StoreReceipt, StorageError> {
+        check_available!(self);
+        let used = used_of(&self.objects);
+        store_into(&mut self.objects, key, data, self.capacity, used)?;
+        Ok(StoreReceipt {
+            key: key.to_string(),
+            bytes: data.len() as u64,
+            time_ns: Self::xfer_ns(data.len(), cost),
+        })
+    }
+    fn load(&self, key: &str, cost: &CostModel) -> Result<(Vec<u8>, u64), StorageError> {
+        check_available!(self);
+        let data = self
+            .objects
+            .get(key)
+            .ok_or_else(|| StorageError::NotFound(key.into()))?
+            .clone();
+        let t = Self::xfer_ns(data.len(), cost);
+        Ok((data, t))
+    }
+    fn delete(&mut self, key: &str) -> Result<(), StorageError> {
+        check_available!(self);
+        self.objects
+            .remove(key)
+            .map(|_| ())
+            .ok_or_else(|| StorageError::NotFound(key.into()))
+    }
+    fn list(&self) -> Vec<String> {
+        if !self.available {
+            return vec![];
+        }
+        self.objects.keys().cloned().collect()
+    }
+    fn available(&self) -> bool {
+        self.available
+    }
+    fn used_bytes(&self) -> u64 {
+        used_of(&self.objects)
+    }
+    fn on_node_failure(&mut self) {
+        self.available = false; // battery holds the data; node is down
+    }
+    fn on_node_repair(&mut self) {
+        self.available = true;
+    }
+    fn on_power_down(&mut self) {
+        if self.class().is_volatile() {
+            self.objects.clear();
+        }
+    }
 }
 
 /// The shared server behind any number of [`RemoteStore`] clients — e.g. a
@@ -412,6 +516,7 @@ mod tests {
             Box::new(RamStore::new(1 << 30)),
             Box::new(LocalDisk::new(1 << 30)),
             Box::new(SwapStore::new(1 << 30)),
+            Box::new(NvramStore::new(1 << 30)),
             Box::new(RemoteStore::new(server)),
         ]
     }
@@ -423,7 +528,9 @@ mod tests {
             assert_eq!(r.bytes, 5);
             let (data, t) = m.load("k", &cost()).unwrap();
             assert_eq!(data, b"hello");
-            assert!(t > 0 || m.class() == StorageClass::Ram);
+            assert!(
+                t > 0 || matches!(m.class(), StorageClass::Ram | StorageClass::Nvram)
+            );
             assert_eq!(m.list(), vec!["k".to_string()]);
             m.delete("k").unwrap();
             assert!(matches!(
@@ -503,6 +610,75 @@ mod tests {
         swap.on_power_down();
         assert!(matches!(ram.load("k", &c), Err(StorageError::NotFound(_))));
         assert_eq!(swap.load("k", &c).unwrap().0, b"x", "hibernation image survives");
+    }
+
+    /// Every media class must honor the failure-event contract implied by
+    /// its [`StorageClass`]: node failure makes the medium unreachable and
+    /// destroys volatile contents; repair restores reachability with
+    /// non-volatile contents intact; power-down destroys volatile contents
+    /// only and never changes availability.
+    #[test]
+    fn failure_event_semantics_per_media_class() {
+        let c = cost();
+        for mut m in all_media() {
+            let class = m.class();
+            let label = m.label();
+
+            // --- power-down: availability unchanged, volatile data gone.
+            m.store("k", b"x", &c).unwrap();
+            m.on_power_down();
+            assert!(m.available(), "{label}: power-down must not mark unavailable");
+            let after_pd = m.load("k", &c);
+            if class.survives_power_down() {
+                assert_eq!(after_pd.unwrap().0, b"x", "{label}: lost data on power-down");
+            } else {
+                assert!(
+                    matches!(after_pd, Err(StorageError::NotFound(_))),
+                    "{label}: volatile medium kept data across power-down"
+                );
+            }
+
+            // --- node failure: unreachable while down...
+            m.store("k", b"x", &c).unwrap();
+            m.on_node_failure();
+            assert!(!m.available(), "{label}: node failure must mark unavailable");
+            assert!(
+                matches!(m.load("k", &c), Err(StorageError::Unavailable)),
+                "{label}: load must fail Unavailable while the node is down"
+            );
+            assert!(m.list().is_empty(), "{label}: list must be empty while down");
+
+            // --- ...and after repair, contents survive iff non-volatile.
+            m.on_node_repair();
+            assert!(m.available(), "{label}: repair must restore availability");
+            let after_repair = m.load("k", &c);
+            if class.is_volatile() {
+                assert!(
+                    matches!(after_repair, Err(StorageError::NotFound(_))),
+                    "{label}: volatile medium kept data across node failure"
+                );
+            } else {
+                assert_eq!(
+                    after_repair.unwrap().0,
+                    b"x",
+                    "{label}: non-volatile medium lost data across the outage"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nvram_is_ram_speed_class_not_disk() {
+        let c = cost();
+        let mut nv = NvramStore::new(1 << 30);
+        let mut disk = LocalDisk::new(1 << 30);
+        let data = vec![7u8; 1 << 20];
+        let tn = nv.store("k", &data, &c).unwrap().time_ns;
+        let td = disk.store("k", &data, &c).unwrap().time_ns;
+        assert!(tn < td, "NVRAM must beat the disk (no seek, bus bandwidth)");
+        // Survives power-down without so much as a blip in availability.
+        nv.on_power_down();
+        assert_eq!(nv.load("k", &c).unwrap().0, data);
     }
 
     #[test]

@@ -22,6 +22,7 @@ use crate::signal::{
 use crate::stats::KernelStats;
 use crate::syscall::{MaskHow, Syscall, Whence};
 use crate::timer::{TimerAction, TimerId, TimerWheel};
+use crate::faultpoint::FaultHandle;
 use crate::trace::{KernelEvent, TlbFlushSite, TraceHandle};
 use crate::types::{
     sysret_encode, Errno, FaultKind, Fd, KtId, OfdId, Pid, SimError, SimResult, SysResult, Task,
@@ -79,6 +80,11 @@ pub struct Kernel {
     /// rejects events on one atomic load, so instrumentation stays free
     /// unless a recording handle is installed with [`Kernel::set_trace`].
     pub trace: TraceHandle,
+    /// Fault-injection plan ([`crate::faultpoint`]); the default disabled
+    /// handle makes every site a single relaxed atomic load, so the hooks
+    /// cost nothing and charge no virtual time unless a recording or armed
+    /// handle is installed with [`Kernel::set_faults`].
+    pub faults: FaultHandle,
     next_tick_at: u64,
 }
 
@@ -107,6 +113,7 @@ impl Kernel {
             signal_claims: BTreeMap::new(),
             stats: KernelStats::default(),
             trace: TraceHandle::disabled(),
+            faults: FaultHandle::disabled(),
             next_tick_at: tick,
         }
     }
@@ -116,6 +123,33 @@ impl Kernel {
     /// collect one cluster-wide trace.
     pub fn set_trace(&mut self, trace: TraceHandle) {
         self.trace = trace;
+    }
+
+    /// Install a fault-injection handle (usually [`FaultHandle::recording`]
+    /// or [`FaultHandle::armed`]). Share the same handle with the storage
+    /// backends (via `FaultInjectStore`) and the restart kernel so one plan
+    /// covers checkpoint, media events, and restart.
+    pub fn set_faults(&mut self, faults: FaultHandle) {
+        self.faults = faults;
+    }
+
+    /// A mechanism-phase fault-injection site (`mech/<mechanism>/<point>`).
+    /// Free when injection is disabled: one relaxed atomic load, no
+    /// allocation, no virtual-time charge. Returns
+    /// [`SimError::InjectedFault`] when the armed fault fires here; a
+    /// fail-stop additionally marks the node crashed so the scheduler loop
+    /// refuses to run until the driver models repair.
+    pub fn faultpoint(&mut self, mechanism: &str, point: &str) -> SimResult<()> {
+        if self.faults.is_off() {
+            return Ok(());
+        }
+        let base = format!("mech/{mechanism}/{point}");
+        match self.faults.check(&base, 0) {
+            None => Ok(()),
+            Some(_) => Err(SimError::InjectedFault {
+                site: self.faults.fired().unwrap_or(base),
+            }),
+        }
     }
 
     // ------------------------------------------------------------------
@@ -1349,6 +1383,13 @@ impl Kernel {
     pub fn run_for(&mut self, ns: u64) -> SimResult<()> {
         let deadline = self.clock.saturating_add(ns);
         while self.clock < deadline {
+            // An injected fail-stop kills the whole node: nothing runs
+            // until the driver models repair (`FaultHandle::clear_crash`).
+            if !self.faults.is_off() && self.faults.node_crashed() {
+                return Err(SimError::InjectedFault {
+                    site: self.faults.fired().unwrap_or_default(),
+                });
+            }
             self.fire_due_timers();
             self.wake_sleepers();
             let Some(task) = self.runqueue.pick_next() else {

@@ -51,6 +51,7 @@
 pub mod apps;
 pub mod asm;
 pub mod cost;
+pub mod faultpoint;
 pub mod fs;
 pub mod kernel;
 pub mod kthread;

@@ -81,6 +81,9 @@ pub enum SimError {
     KilledBySignal { pid: Pid, sig: u32 },
     /// A deadline passed without the awaited condition becoming true.
     Timeout(String),
+    /// An armed [`crate::faultpoint`] site fired: the injected failure
+    /// (fail-stop, torn write, transient) interrupted the operation.
+    InjectedFault { site: String },
 }
 
 impl fmt::Display for SimError {
@@ -100,6 +103,9 @@ impl fmt::Display for SimError {
                 write!(f, "{pid} killed by signal {sig}")
             }
             SimError::Timeout(what) => write!(f, "timeout waiting for {what}"),
+            SimError::InjectedFault { site } => {
+                write!(f, "injected fault fired at {site}")
+            }
         }
     }
 }

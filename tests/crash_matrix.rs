@@ -1,0 +1,160 @@
+//! The exhaustive crash matrix: every mechanism family × every trace-phase
+//! fault site × every storage backend × every fault kind, each cell ending
+//! in exactly one of {bit-exact restart, typed detection} — never a silent
+//! wrong restart, never a panic.
+//!
+//! The matrix is deterministic (no sampling): the site list comes from a
+//! fault-free recording pass per column, so every instrumented site is
+//! swept. Skipped cells (inapplicable fault kinds) are logged, not hidden.
+
+use ckpt_core::crashpoint::{
+    all_configs, run_config, CellOutcome, MatrixReport, BACKENDS, HIBERNATE_BACKENDS,
+    TRAIT_MECHANISMS,
+};
+
+#[test]
+fn full_crash_matrix_has_no_violations_and_no_panics() {
+    let mut report = MatrixReport::default();
+    for cfg in all_configs() {
+        let cells = run_config(cfg);
+        assert!(
+            !cells.is_empty(),
+            "{}/{}: recording pass enumerated no fault sites",
+            cfg.mechanism,
+            cfg.backend
+        );
+        report.cells.extend(cells);
+    }
+
+    // Log the skipped cells so bounded coverage is visible in CI output.
+    for cell in &report.cells {
+        if let CellOutcome::Skipped { reason } = &cell.outcome {
+            println!("skipped: {}/{} {} [{}] — {reason}", cell.mechanism, cell.backend, cell.site, cell.fault);
+        }
+    }
+
+    let violations = report.violations();
+    assert!(
+        violations.is_empty(),
+        "matrix violations:\n{}",
+        violations
+            .iter()
+            .map(|c| format!("  {c}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+
+    // Coverage floor: the cross product actually ran. Every mechanism
+    // family appears with every one of its backends, and every fault kind
+    // produced at least one concrete (non-skipped) cell somewhere.
+    for mech in TRAIT_MECHANISMS {
+        for backend in BACKENDS {
+            assert!(
+                report
+                    .cells
+                    .iter()
+                    .any(|c| c.mechanism == mech && c.backend == backend),
+                "no cells for {mech}/{backend}"
+            );
+        }
+    }
+    for backend in HIBERNATE_BACKENDS {
+        assert!(
+            report
+                .cells
+                .iter()
+                .any(|c| c.mechanism == "hibernate" && c.backend == backend),
+            "no cells for hibernate/{backend}"
+        );
+    }
+    for fault in ["fail-stop", "transient", "torn-write"] {
+        assert!(
+            report.cells.iter().any(|c| c.fault == fault
+                && !matches!(c.outcome, CellOutcome::Skipped { .. })),
+            "fault kind {fault} never ran concretely"
+        );
+    }
+
+    // Both terminal classifications occur: faults after a durable
+    // checkpoint roll back bit-exactly; faults before any durable image
+    // (or on volatile media) are detected with a typed error.
+    assert!(report.restarted() > 0, "no cell ever restarted bit-exactly");
+    assert!(report.detected() > 0, "no cell was ever typed-detected");
+
+    // Phase coverage across the matrix: each instrumented phase fired as
+    // an armed site in at least one cell.
+    for phase in [
+        "freeze", "walk", "capture", "compress", "store", "prune", "rearm", "resume",
+    ] {
+        assert!(
+            report
+                .cells
+                .iter()
+                .any(|c| c.site.contains(&format!("/{phase}@"))),
+            "phase {phase} never appeared as an armed site"
+        );
+    }
+    // Storage-offset, chain-segment, and restart-side sites all swept too.
+    assert!(report.cells.iter().any(|c| c.site.contains("/store@") && c.site.starts_with("storage/")));
+    assert!(report.cells.iter().any(|c| c.site.starts_with("chain/seg")));
+    assert!(report.cells.iter().any(|c| c.site.contains("restart/restore")));
+
+    println!(
+        "crash matrix: {} cells — {} restarted, {} detected, {} skipped, {} violations",
+        report.cells.len(),
+        report.restarted(),
+        report.detected(),
+        report.skipped(),
+        report.violations().len()
+    );
+}
+
+#[test]
+fn survivability_is_a_measured_artifact() {
+    // Fail-stop after a completed checkpoint: whether the restart succeeds
+    // is decided by the medium's survivability class, and the matrix
+    // measures it rather than assuming it.
+    use ckpt_core::crashpoint::MatrixConfig;
+
+    // `resume@1` fires after checkpoint #1's image is durable on every
+    // process-level mechanism's engine path.
+    let restartable = |backend: &'static str| -> bool {
+        let cells = run_config(MatrixConfig {
+            mechanism: "syscall",
+            backend,
+        });
+        cells
+            .iter()
+            .filter(|c| c.site.contains("/resume@1") && c.fault == "fail-stop")
+            .all(|c| matches!(c.outcome, CellOutcome::Restarted { .. }))
+    };
+    assert!(restartable("local-disk"), "local disk survives node repair");
+    assert!(restartable("remote"), "remote storage survives node loss");
+    assert!(restartable("nvram"), "NVRAM survives node repair");
+
+    // Hibernation to RAM (standby) must lose the image across power-down:
+    // every fault cell on the volatile medium ends in typed detection.
+    let ram_cells = run_config(MatrixConfig {
+        mechanism: "hibernate",
+        backend: "ram",
+    });
+    assert!(
+        ram_cells
+            .iter()
+            .filter(|c| !matches!(c.outcome, CellOutcome::Skipped { .. }))
+            .all(|c| matches!(c.outcome, CellOutcome::Detected { .. })),
+        "volatile RAM standby must never restart after power-down"
+    );
+    // ...while hibernation to swap survives it bit-exactly when the fault
+    // hits after the commit point.
+    let swap_cells = run_config(MatrixConfig {
+        mechanism: "hibernate",
+        backend: "swap",
+    });
+    assert!(
+        swap_cells
+            .iter()
+            .any(|c| matches!(c.outcome, CellOutcome::Restarted { .. })),
+        "swap-backed hibernation must survive power-down"
+    );
+}
