@@ -83,8 +83,12 @@ pub fn f1_figure() -> String {
 /// C1: syscall crossings and time to gather process state, user level vs
 /// kernel level, as the number of open descriptors grows.
 pub fn c1_gather() -> String {
-    let mut rows = Vec::new();
-    for nfds in [0u32, 4, 16, 64] {
+    // Each nfds config builds its own kernels, so the four run on the
+    // pool; ordered merge keeps the table rows in nfds order.
+    let rows = ckpt_par::global().par_map_ordered(
+        vec![0u32, 4, 16, 64],
+        || (),
+        |_, _, nfds| {
         // User level: the modelled checkpoint library.
         let (user_calls, user_time) = {
             let mut k = fresh_kernel();
@@ -140,15 +144,16 @@ pub fn c1_gather() -> String {
             m.checkpoint(&mut k, pid).unwrap();
             (k.stats.syscalls - s0, k.now() - t0)
         };
-        rows.push(vec![
+        vec![
             nfds.to_string(),
             user_calls.to_string(),
             ns(user_time),
             sys_calls.to_string(),
             ns(sys_time),
             format!("{:.1}x", user_calls as f64 / sys_calls.max(1) as f64),
-        ]);
-    }
+        ]
+        },
+    );
     format!(
         "C1 — state gather: user-level library vs kernel-level syscall\n{}",
         table(
@@ -183,9 +188,15 @@ pub fn c2_incremental() -> String {
         TrackerKind::KernelPage,
         TrackerKind::UserPage,
     ];
-    let mut rows = Vec::new();
-    for (label, kind, writes) in apps {
-        for tk in trackers {
+    // 12 independent (workload, tracker) cells; rows merge in loop order.
+    let combos: Vec<((&str, NativeKind, u64), TrackerKind)> = apps
+        .iter()
+        .flat_map(|a| trackers.iter().map(move |tk| (*a, *tk)))
+        .collect();
+    let rows = ckpt_par::global().par_map_ordered(
+        combos,
+        || (),
+        |_, _, ((label, kind, writes), tk)| {
             let mut k = fresh_kernel();
             let pid = spawn(&mut k, kind, 1024 * 1024, writes.max(1));
             k.run_for(2_000_000).unwrap();
@@ -199,7 +210,7 @@ pub fn c2_incremental() -> String {
             k.freeze_process(pid).unwrap();
             let second = engine.checkpoint_in_kernel(&mut k, pid).unwrap();
             k.thaw_process(pid).unwrap();
-            rows.push(vec![
+            vec![
                 label.to_string(),
                 tk.label(),
                 first.pages_saved.to_string(),
@@ -207,9 +218,9 @@ pub fn c2_incremental() -> String {
                 bytes(second.encoded_bytes),
                 ns(second.total_ns),
                 second.events.page_faults.to_string(),
-            ]);
-        }
-    }
+            ]
+        },
+    );
     format!(
         "C2 — full vs incremental checkpoints (1 MiB working set, 10 steps between checkpoints)\n{}",
         table(
@@ -341,9 +352,15 @@ pub fn c4_mechanisms() -> String {
         "hw-revive",
         "hw-safetynet",
     ];
-    let mut rows = Vec::new();
-    for competitors in [0usize, 3] {
-        for which in families {
+    // 16 independent (competitors, family) kernels, run on the pool.
+    let combos: Vec<(usize, &str)> = [0usize, 3]
+        .iter()
+        .flat_map(|c| families.iter().map(move |f| (*c, *f)))
+        .collect();
+    let rows = ckpt_par::global().par_map_ordered(
+        combos,
+        || (),
+        |_, _, (competitors, which)| {
             let mut k = fresh_kernel();
             let pid = spawn(&mut k, NativeKind::SparseRandom, 512 * 1024, 8);
             for _ in 0..competitors {
@@ -354,7 +371,7 @@ pub fn c4_mechanisms() -> String {
             k.run_for(20_000_000).unwrap();
             let mm0 = k.stats.mm_switches;
             let o = mech.checkpoint(&mut k, pid).unwrap();
-            rows.push(vec![
+            vec![
                 which.to_string(),
                 competitors.to_string(),
                 ns(o.total_ns),
@@ -362,9 +379,9 @@ pub fn c4_mechanisms() -> String {
                 o.events.syscalls.to_string(),
                 (k.stats.mm_switches - mm0).to_string(),
                 bytes(o.encoded_bytes),
-            ]);
-        }
-    }
+            ]
+        },
+    );
     format!(
         "C4 — mechanism families: one full checkpoint of a 512 KiB process\n{}",
         table(
@@ -388,8 +405,10 @@ pub fn c4_mechanisms() -> String {
 
 /// C5: application stall, forked-concurrent vs stop-the-world kthread.
 pub fn c5_fork() -> String {
-    let mut rows = Vec::new();
-    for mem in [256 * 1024u64, 1024 * 1024, 4 * 1024 * 1024] {
+    let rows = ckpt_par::global().par_map_ordered(
+        vec![256 * 1024u64, 1024 * 1024, 4 * 1024 * 1024],
+        || (),
+        |_, _, mem| {
         let fork = {
             let mut k = fresh_kernel();
             let pid = spawn(&mut k, NativeKind::DenseSweep, mem, 0);
@@ -416,15 +435,16 @@ pub fn c5_fork() -> String {
             let o = m.checkpoint(&mut k, pid).unwrap();
             o.app_stall_ns
         };
-        rows.push(vec![
+        vec![
             bytes(mem),
             ns(fork.0),
             ns(stw),
             format!("{:.0}x", stw as f64 / fork.0.max(1) as f64),
             ns(fork.1),
             fork.2.to_string(),
-        ]);
-    }
+        ]
+        },
+    );
     format!(
         "C5 — fork-concurrent (Checkpoint [5]) vs stop-the-world kthread\n{}",
         table(
@@ -511,10 +531,17 @@ pub fn c7_cluster_mechanistic() -> String {
     cfg.target_supersteps = 10;
     cfg.checkpoint_every_supersteps = 2;
     cfg.failure = FailureConfig::with_mtbf(40_000_000, 2_000_000, 9);
-    let with = simulate_job(&cfg).unwrap();
     let mut cfg2 = cfg.clone();
     cfg2.checkpoint_every_supersteps = 0;
-    let without = simulate_job(&cfg2).unwrap();
+    // The two strategies are independent cluster simulations; run both at
+    // once and read the results back in submission order.
+    let mut results = ckpt_par::global().par_map_ordered(
+        vec![cfg, cfg2],
+        || (),
+        |_, _, c| simulate_job(&c).unwrap(),
+    );
+    let without = results.pop().unwrap();
+    let with = results.pop().unwrap();
     let rows = vec![
         vec![
             "coordinated ckpt every 2 supersteps".to_string(),
@@ -555,22 +582,31 @@ pub fn c7_cluster_scale() -> String {
     let c = SEC / 2;
     let r = 5 * SEC;
     let work = 3_600 * SEC; // one hour of useful work
-    let mut rows = Vec::new();
-    for n in [1_024u64, 16_384, 65_536] {
-        let job_mtbf = (node_mtbf as f64 / n as f64) as u64;
-        let ty = young_interval(c, job_mtbf).max(1);
-        let intervals = [ty / 8, ty / 2, ty, ty * 2, ty * 8, 600 * SEC];
-        let sweep = interval_sweep(n, node_mtbf, c, r, work, &intervals, 6);
-        for (t, u) in sweep {
-            let marker = if t == ty { " (Young)" } else { "" };
-            rows.push(vec![
-                n.to_string(),
-                format!("{:.1} s", job_mtbf as f64 / 1e9),
-                format!("{}{}", ns(t), marker),
-                format!("{:.3}", u),
-            ]);
-        }
-    }
+    // Each cluster size is an independent stochastic sweep (fixed seeds);
+    // the sweep itself also fans its trials out on the same pool.
+    let row_groups = ckpt_par::global().par_map_ordered(
+        vec![1_024u64, 16_384, 65_536],
+        || (),
+        |_, _, n| {
+            let job_mtbf = (node_mtbf as f64 / n as f64) as u64;
+            let ty = young_interval(c, job_mtbf).max(1);
+            let intervals = [ty / 8, ty / 2, ty, ty * 2, ty * 8, 600 * SEC];
+            let sweep = interval_sweep(n, node_mtbf, c, r, work, &intervals, 6);
+            sweep
+                .into_iter()
+                .map(|(t, u)| {
+                    let marker = if t == ty { " (Young)" } else { "" };
+                    vec![
+                        n.to_string(),
+                        format!("{:.1} s", job_mtbf as f64 / 1e9),
+                        format!("{}{}", ns(t), marker),
+                        format!("{:.3}", u),
+                    ]
+                })
+                .collect::<Vec<_>>()
+        },
+    );
+    let rows: Vec<Vec<String>> = row_groups.into_iter().flatten().collect();
     format!(
         "C7b — utilization vs checkpoint interval at scale (node MTBF 10 h, ckpt 0.5 s, restart 5 s, 1 h job)\n{}",
         table(
@@ -752,32 +788,37 @@ pub fn c9_batch_vs_autonomic() -> String {
         }
         (cluster, mgr)
     };
-    let mut rows = Vec::new();
-    for n in [2usize, 4, 8, 16] {
-        // Centralized: one serialized round from the manager.
-        let (mut cluster, mut mgr) = setup(n);
-        cluster.advance(10_000_000);
-        let central = mgr.checkpoint_round(&mut cluster).unwrap().round_latency_ns;
-        // Autonomous: each node checkpoints locally; the "round" is as
-        // slow as the slowest node (they run concurrently).
-        let (mut cluster2, mgr2) = setup(n);
-        cluster2.advance(10_000_000);
-        let mut slowest = 0u64;
-        for job in &mgr2.jobs {
-            let k = cluster2.node(job.node).kernel().unwrap();
-            let t0 = k.now();
-            k.with_module_mut::<AutonomicDaemon, _>("lsfd", |d, k| {
-                d.checkpoint_now(k, job.pid).unwrap();
-            });
-            slowest = slowest.max(k.now() - t0);
-        }
-        rows.push(vec![
-            n.to_string(),
-            ns(central),
-            ns(slowest),
-            format!("{:.1}x", central as f64 / slowest.max(1) as f64),
-        ]);
-    }
+    // The four cluster sizes are independent simulations; each closure
+    // builds both the centralized and autonomic variants locally.
+    let rows = ckpt_par::global().par_map_ordered(
+        vec![2usize, 4, 8, 16],
+        || (),
+        |_, _, n| {
+            // Centralized: one serialized round from the manager.
+            let (mut cluster, mut mgr) = setup(n);
+            cluster.advance(10_000_000);
+            let central = mgr.checkpoint_round(&mut cluster).unwrap().round_latency_ns;
+            // Autonomous: each node checkpoints locally; the "round" is as
+            // slow as the slowest node (they run concurrently).
+            let (mut cluster2, mgr2) = setup(n);
+            cluster2.advance(10_000_000);
+            let mut slowest = 0u64;
+            for job in &mgr2.jobs {
+                let k = cluster2.node(job.node).kernel().unwrap();
+                let t0 = k.now();
+                k.with_module_mut::<AutonomicDaemon, _>("lsfd", |d, k| {
+                    d.checkpoint_now(k, job.pid).unwrap();
+                });
+                slowest = slowest.max(k.now() - t0);
+            }
+            vec![
+                n.to_string(),
+                ns(central),
+                ns(slowest),
+                format!("{:.1}x", central as f64 / slowest.max(1) as f64),
+            ]
+        },
+    );
     // Single point of failure.
     let (mut cluster, mut mgr) = setup(4);
     cluster.advance(5_000_000);
@@ -800,11 +841,13 @@ pub fn c9_batch_vs_autonomic() -> String {
 /// C10: rerun headline comparisons under `CostModel::modern()` — the
 /// paper's relative orderings must not depend on 2005 constants.
 pub fn c10_sensitivity() -> String {
-    let mut rows = Vec::new();
-    for (label, cost) in [
-        ("circa-2005", CostModel::circa_2005()),
-        ("modern", CostModel::modern()),
-    ] {
+    let rows = ckpt_par::global().par_map_ordered(
+        vec![
+            ("circa-2005", CostModel::circa_2005()),
+            ("modern", CostModel::modern()),
+        ],
+        || (),
+        |_, _, (label, cost)| {
         // User vs kernel crossings (one checkpoint, 8 fds).
         let crossings = |user: bool, cost: &CostModel| -> u64 {
             let mut k = Kernel::new(cost.clone());
@@ -869,14 +912,15 @@ pub fn c10_sensitivity() -> String {
             (f, s)
         };
         let (fork_stall, stw_stall) = stalls(&cost);
-        rows.push(vec![
+        vec![
             label.to_string(),
             format!("{user} vs {kernel}"),
             (user > kernel).to_string(),
             format!("{} vs {}", ns(fork_stall), ns(stw_stall)),
             (fork_stall < stw_stall).to_string(),
-        ]);
-    }
+        ]
+        },
+    );
     format!(
         "C10 — sensitivity: headline orderings under both cost models\n{}",
         table(
@@ -1076,6 +1120,18 @@ fn trace_breakdown_impl(show_soft_tlb: bool) -> String {
         for (site, n) in &rep.soft_tlb_flushes {
             out.push_str(&format!("    {:<16} {:>8}\n", site.label(), n));
         }
+        // Pool activity for the traced checkpoints. Steals and merge
+        // stalls are scheduling artifacts (zero on a width-1 pool), so
+        // like the TLB section this only appears in the standalone
+        // `report trace`, never in the pinned `report all` output.
+        let pe = &rep.par_encode;
+        out.push_str(&format!(
+            "\nparallel encode pool ({} workers):\n  tasks: {}  steals: {}  merge stalls: {}\n",
+            ckpt_par::global().workers(),
+            pe.tasks,
+            pe.steals,
+            pe.merge_stalls
+        ));
     }
     out
 }
@@ -1205,8 +1261,17 @@ pub fn c11_crash_matrix() -> String {
 }
 
 /// Run every experiment and concatenate (the `report all` output).
+///
+/// Experiments are fully isolated (each builds its own kernels, storage
+/// and trace sinks), so they run concurrently on the pool; the ordered
+/// merge concatenates in `EXPERIMENTS` order, keeping the output
+/// byte-identical to the serial run.
 pub fn run_all() -> String {
-    let parts: Vec<String> = EXPERIMENTS.iter().map(|(_, f)| f()).collect();
+    let parts: Vec<String> = ckpt_par::global().par_map_ordered(
+        EXPERIMENTS.to_vec(),
+        || (),
+        |_, _, (_, f)| f(),
+    );
     parts.join("\n")
 }
 

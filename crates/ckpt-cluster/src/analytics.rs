@@ -178,15 +178,20 @@ pub fn stochastic_run(
     let mut failures = 0u64;
     let mut checkpoints = 0u64;
     let mut next_failure = draw(&mut rng);
-    // Each segment: compute ckpt_interval of work then checkpoint.
+    // Each segment: compute ckpt_interval of work then checkpoint. The
+    // segment size depends only on `done_work`, so it is recomputed on
+    // commit rather than on every failure retry (the hot path when the
+    // interval is much longer than the job MTBF).
+    let mut segment_work = ckpt_interval_ns.min(work_ns) as f64;
+    let mut segment_span = segment_work + ckpt_cost_ns as f64;
     while done_work < work_ns {
-        let segment_work = ckpt_interval_ns.min(work_ns - done_work) as f64;
-        let segment_span = segment_work + ckpt_cost_ns as f64;
         if clock + segment_span <= next_failure {
             // Segment completes and commits.
             clock += segment_span;
             done_work += segment_work as u64;
             checkpoints += 1;
+            segment_work = ckpt_interval_ns.min(work_ns - done_work) as f64;
+            segment_span = segment_work + ckpt_cost_ns as f64;
         } else {
             // Failure mid-segment: everything since the last checkpoint is
             // lost; pay restart and continue.
@@ -222,24 +227,32 @@ pub fn interval_sweep(
     intervals: &[u64],
     trials: u64,
 ) -> Vec<(u64, f64)> {
+    // Every (interval, trial) pair is an independent Monte-Carlo run with
+    // its own seed, so all of them fan out on the pool at once. The means
+    // are then folded per interval in trial order — the same f64 summation
+    // order as the serial loop, so the sweep is bit-identical at any width.
+    let jobs: Vec<(u64, u64)> = intervals
+        .iter()
+        .flat_map(|&t| (0..trials).map(move |i| (t, i)))
+        .collect();
+    let utils = ckpt_par::global().par_map_ordered(jobs, || (), |_, _, (t, i)| {
+        stochastic_run(
+            n_nodes,
+            node_mtbf_ns,
+            t,
+            ckpt_cost_ns,
+            restart_cost_ns,
+            work_ns,
+            0xC0FFEE + i,
+        )
+        .utilization
+    });
     intervals
         .iter()
-        .map(|&t| {
-            let mean: f64 = (0..trials)
-                .map(|i| {
-                    stochastic_run(
-                        n_nodes,
-                        node_mtbf_ns,
-                        t,
-                        ckpt_cost_ns,
-                        restart_cost_ns,
-                        work_ns,
-                        0xC0FFEE + i,
-                    )
-                    .utilization
-                })
-                .sum::<f64>()
-                / trials as f64;
+        .enumerate()
+        .map(|(k, &t)| {
+            let lo = k * trials as usize;
+            let mean = utils[lo..lo + trials as usize].iter().sum::<f64>() / trials as f64;
             (t, mean)
         })
         .collect()

@@ -16,9 +16,10 @@ use crate::cluster::Cluster;
 use crate::mpi::{MpiJob, RankRef};
 use ckpt_core::capture::{capture_image, restore_image, CaptureOptions, RestoreOptions, RestorePid};
 use ckpt_core::tracker::{Tracker, TrackerKind};
-use ckpt_storage::{image_key, load_chain_at, store_image};
+use ckpt_storage::{image_key, load_chain_at, store_image_bytes};
 use simos::types::{SimError, SimResult};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Per-round result of a coordinated checkpoint.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -46,10 +47,23 @@ pub struct Coordinator {
     saved_ranks: Vec<u32>,
     saved_pids: BTreeMap<u32, u32>,
     pub outcomes: Vec<CoordOutcome>,
+    /// Pool for each rank's page encode (pipelined with the gather) and
+    /// chunked image CRC. The per-rank *commit* sequence — store on the
+    /// shared remote, virtual-time charge, tracker re-arm, thaw — stays
+    /// strictly serialized in rank order: the remote server and the fault
+    /// plan are shared state whose operation order is observable, and
+    /// same-node ranks observe each other's charges through `taken_at_ns`.
+    pool: Arc<ckpt_par::Pool>,
 }
 
 impl Coordinator {
     pub fn new(job_key: &str, tracker_kind: TrackerKind) -> Self {
+        Self::with_pool(job_key, tracker_kind, ckpt_par::global().clone())
+    }
+
+    /// [`Coordinator::new`] with an explicit encode pool (width 1 = the
+    /// exact serial path).
+    pub fn with_pool(job_key: &str, tracker_kind: TrackerKind, pool: Arc<ckpt_par::Pool>) -> Self {
         Coordinator {
             job_key: job_key.to_string(),
             tracker_kind,
@@ -59,6 +73,7 @@ impl Coordinator {
             saved_ranks: Vec::new(),
             saved_pids: BTreeMap::new(),
             outcomes: Vec::new(),
+            pool,
         }
     }
 
@@ -140,6 +155,7 @@ impl Coordinator {
         seq: u64,
         incremental: bool,
     ) -> SimResult<u64> {
+        let pool = self.pool.clone();
         let tracker = self
             .trackers
             .entry(r.rank)
@@ -151,24 +167,38 @@ impl Coordinator {
             .kernel()
             .ok_or_else(|| SimError::Usage(format!("{} down during checkpoint", r.node)))?;
         k.freeze_process(r.pid)?;
+        let pool_stats0 = pool.stats();
         let result = (|| -> SimResult<u64> {
             let opts = if incremental && tracker.is_armed() {
                 let c = tracker.collect(k, r.pid)?;
                 let mut o = CaptureOptions::incremental("coordinated", seq, seq - 1, c.pages);
                 o.node = r.node.0;
+                o.encode_pool = Some(pool.clone());
                 o
             } else {
                 let mut o = CaptureOptions::full("coordinated", seq);
                 o.node = r.node.0;
+                o.encode_pool = Some(pool.clone());
                 o
             };
             let mut img = capture_image(k, r.pid, &opts)?;
             // Key images by *rank*, which is stable across migrations.
             img.header.pid = r.rank;
+            // Serialize (pool-chunked CRC) outside the storage lock, then
+            // commit the pre-encoded bytes — the store itself stays in
+            // rank order on the shared remote.
+            let bytes = ckpt_image::encode_with_pool(&img, &pool);
             let (receipt, store_label) = {
                 let mut s = remote.lock();
-                let rc = store_image(s.as_mut(), &job_key, &img, &k.cost)
-                    .map_err(|e| SimError::Usage(format!("coordinated store failed: {e}")))?;
+                let rc = store_image_bytes(
+                    s.as_mut(),
+                    &job_key,
+                    img.header.pid,
+                    img.header.seq,
+                    &bytes,
+                    &k.cost,
+                )
+                .map_err(|e| SimError::Usage(format!("coordinated store failed: {e}")))?;
                 (rc, s.label())
             };
             k.trace.storage(
@@ -182,6 +212,9 @@ impl Coordinator {
             tracker.arm(k, r.pid)?;
             Ok(receipt.bytes)
         })();
+        let pool_delta = pool.stats().since(pool_stats0);
+        k.trace
+            .par_encode(pool_delta.tasks, pool_delta.steals, pool_delta.merge_stalls);
         match result {
             Ok(bytes) => {
                 k.thaw_process(r.pid)?;

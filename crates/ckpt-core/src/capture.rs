@@ -19,6 +19,7 @@ use simos::timer::TimerAction;
 use simos::types::{Fd, Pid, SimError, SimResult};
 use simos::Kernel;
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 /// Which pages to include in the image.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -49,6 +50,11 @@ pub struct CaptureOptions {
     pub save_file_contents: bool,
     /// Node id recorded in the header.
     pub node: u32,
+    /// Worker pool for page encoding. `None` (or a width-1 pool) takes the
+    /// exact serial path; wider pools overlap the page gather with
+    /// compression ([`ckpt_image::capture_pages_pipelined`]) — output is
+    /// byte-identical at every width.
+    pub encode_pool: Option<Arc<ckpt_par::Pool>>,
 }
 
 impl CaptureOptions {
@@ -62,6 +68,7 @@ impl CaptureOptions {
             compress: true,
             save_file_contents: false,
             node: 0,
+            encode_pool: None,
         }
     }
 
@@ -75,6 +82,7 @@ impl CaptureOptions {
             compress: true,
             save_file_contents: false,
             node: 0,
+            encode_pool: None,
         }
     }
 }
@@ -107,23 +115,41 @@ pub fn capture_image(k: &mut Kernel, pid: Pid, opts: &CaptureOptions) -> SimResu
         )
     };
     // Pages: copy out of the address space (charged as kernel memcpy).
-    let mut pages = Vec::with_capacity(page_numbers.len());
-    {
+    // With a pool wider than 1, the gather (caller thread, reading the
+    // frozen address space) overlaps with compression (pool workers); the
+    // ordered merge makes the record list identical to the serial walk.
+    let pages = {
         let p = k.process(pid).expect("checked above");
-        for pn in &page_numbers {
-            let data = p.mem.page_data(*pn).expect("resident");
-            let rec = if opts.compress {
-                PageRecord::capture(*pn, data)
-            } else {
-                PageRecord {
-                    page_no: *pn,
-                    enc: ckpt_image::PageEncoding::Raw,
-                    payload: data.to_vec(),
+        let par = opts
+            .encode_pool
+            .as_deref()
+            .filter(|pool| pool.workers() > 1 && opts.compress);
+        match par {
+            Some(pool) => ckpt_image::capture_pages_pipelined(pool, |push| {
+                for pn in &page_numbers {
+                    let data = p.mem.page_data(*pn).expect("resident");
+                    push((*pn, data.to_vec()));
                 }
-            };
-            pages.push(rec);
+            }),
+            None => {
+                let mut pages = Vec::with_capacity(page_numbers.len());
+                for pn in &page_numbers {
+                    let data = p.mem.page_data(*pn).expect("resident");
+                    let rec = if opts.compress {
+                        PageRecord::capture(*pn, data)
+                    } else {
+                        PageRecord {
+                            page_no: *pn,
+                            enc: ckpt_image::PageEncoding::Raw,
+                            payload: data.to_vec(),
+                        }
+                    };
+                    pages.push(rec);
+                }
+                pages
+            }
         }
-    }
+    };
     let copy_cost = k.cost.memcpy(page_numbers.len() as u64 * PAGE_SIZE);
     k.charge(copy_cost);
     // File descriptors, with dup groups.
@@ -569,6 +595,32 @@ mod tests {
         )
         .unwrap();
         assert!(restore_image(&mut k, &img, &RestoreOptions::default()).is_err());
+    }
+
+    #[test]
+    fn pooled_capture_is_identical_to_serial() {
+        let mut k = kernel();
+        let mut params = AppParams::small();
+        params.mem_bytes = 1024 * 1024;
+        params.total_steps = u64::MAX;
+        let pid = k.spawn_native(NativeKind::Stencil2D, params).unwrap();
+        k.run_for(5_000_000).unwrap();
+        k.freeze_process(pid).unwrap();
+        let serial = capture_image(&mut k, pid, &CaptureOptions::full("t", 1)).unwrap();
+        for w in [2usize, 4, 8] {
+            let mut opts = CaptureOptions::full("t", 1);
+            opts.encode_pool = Some(Arc::new(ckpt_par::Pool::new(w)));
+            // Capturing twice advances virtual time (the memcpy charge), so
+            // compare everything except the header timestamp.
+            let mut pooled = capture_image(&mut k, pid, &opts).unwrap();
+            pooled.header.taken_at_ns = serial.header.taken_at_ns;
+            assert_eq!(pooled, serial, "width {w}");
+            assert_eq!(
+                ckpt_image::encode(&pooled),
+                ckpt_image::encode(&serial),
+                "width {w} bytes"
+            );
+        }
     }
 
     #[test]

@@ -27,7 +27,7 @@ use crate::report::{CkptOutcome, RestartOutcome};
 use crate::tracker::{Tracker, TrackerKind};
 use crate::SharedStorage;
 use ckpt_image::{ChainError, ImageKind};
-use ckpt_storage::{load_latest_valid_chain, prune_before, store_image};
+use ckpt_storage::{load_latest_valid_chain, prune_before, store_image_bytes};
 use simos::trace::{Phase, StorageOp};
 use simos::types::{Pid, SimError, SimResult};
 use simos::Kernel;
@@ -123,6 +123,9 @@ pub struct KernelCkptEngine {
     /// Delete images older than the latest full after taking a full.
     pub(crate) prune: bool,
     pub(crate) node: u32,
+    /// Pool for parallel page encoding during capture (default: the
+    /// process-wide [`ckpt_par::global`] pool; width 1 = exact serial path).
+    pub(crate) encode_pool: std::sync::Arc<ckpt_par::Pool>,
     seq: u64,
     last_full_seq: u64,
     target_pid: Option<Pid>,
@@ -183,6 +186,21 @@ impl KernelCkptEngineBuilder {
         self
     }
 
+    /// Width of the page-encode worker pool (default: the host's available
+    /// parallelism via [`ckpt_par::global`]). `1` forces the exact serial
+    /// capture path; any width produces byte-identical images.
+    pub fn encode_workers(mut self, n: usize) -> Self {
+        self.engine.encode_pool = std::sync::Arc::new(ckpt_par::Pool::new(n));
+        self
+    }
+
+    /// Share an existing encode pool (e.g. one pool across all nodes of a
+    /// cluster so its trace counters aggregate).
+    pub fn encode_pool(mut self, pool: std::sync::Arc<ckpt_par::Pool>) -> Self {
+        self.engine.encode_pool = pool;
+        self
+    }
+
     pub fn build(self) -> KernelCkptEngine {
         self.engine
     }
@@ -207,6 +225,7 @@ impl KernelCkptEngine {
                 save_file_contents: false,
                 prune: true,
                 node: 0,
+                encode_pool: ckpt_par::global().clone(),
                 seq: 0,
                 last_full_seq: 0,
                 target_pid: None,
@@ -260,6 +279,7 @@ impl KernelCkptEngine {
             && self.seq > 0
             && self.tracker.is_armed()
             && !(self.full_every > 0 && next_seq - self.last_full_seq >= self.full_every);
+        let pool_stats0 = self.encode_pool.stats();
         let (opts, logical_dirty) = if incremental_ok {
             k.faultpoint(&self.mechanism_name, "walk")?;
             let walk0 = k.now();
@@ -281,12 +301,14 @@ impl KernelCkptEngine {
             o.compress = self.compress;
             o.save_file_contents = self.save_file_contents;
             o.node = self.node;
+            o.encode_pool = Some(self.encode_pool.clone());
             (o, collected.logical_dirty_bytes)
         } else {
             let mut o = CaptureOptions::full(&self.mechanism_name, next_seq);
             o.compress = self.compress;
             o.save_file_contents = self.save_file_contents;
             o.node = self.node;
+            o.encode_pool = Some(self.encode_pool.clone());
             (o, 0)
         };
         let kind = opts.kind;
@@ -314,9 +336,19 @@ impl KernelCkptEngine {
         let encoded_len;
         let storage_ns;
         {
+            // Encode outside the storage lock; the pool parallelizes the
+            // trailer CRC while the serial layout keeps bytes identical.
+            let bytes = ckpt_image::encode_with_pool(&img, &self.encode_pool);
             let mut storage = self.storage.lock();
-            let receipt = store_image(storage.as_mut(), &self.job, &img, &k.cost)
-                .map_err(|e| SimError::Usage(format!("store failed: {e}")))?;
+            let receipt = store_image_bytes(
+                storage.as_mut(),
+                &self.job,
+                img.header.pid,
+                img.header.seq,
+                &bytes,
+                &k.cost,
+            )
+            .map_err(|e| SimError::Usage(format!("store failed: {e}")))?;
             encoded_len = receipt.bytes;
             storage_ns = receipt.time_ns;
             let label = storage.label();
@@ -324,6 +356,9 @@ impl KernelCkptEngine {
             k.trace
                 .storage(StorageOp::Store, &label, encoded_len, storage_ns);
         }
+        let pool_delta = self.encode_pool.stats().since(pool_stats0);
+        k.trace
+            .par_encode(pool_delta.tasks, pool_delta.steals, pool_delta.merge_stalls);
         let compress_ns = k.cost.memcpy(encoded_len);
         k.charge(compress_ns + storage_ns);
         k.trace.phase(

@@ -120,6 +120,24 @@ impl<'a> Dec<'a> {
 
 /// Serialize an image to bytes (with trailing CRC-32).
 pub fn encode(img: &CheckpointImage) -> Vec<u8> {
+    let mut out = encode_body(img);
+    let crc = crc32(&out);
+    put_u32(&mut out, crc);
+    out
+}
+
+/// [`encode`] with the trailing CRC computed in chunks on `pool` — the
+/// body bytes and the CRC value are identical at every pool width (see
+/// [`crate::parallel::crc32_par`]).
+pub fn encode_with_pool(img: &CheckpointImage, pool: &ckpt_par::Pool) -> Vec<u8> {
+    let mut out = encode_body(img);
+    let crc = crate::parallel::crc32_par(pool, &out);
+    put_u32(&mut out, crc);
+    out
+}
+
+/// Everything before the trailing CRC.
+fn encode_body(img: &CheckpointImage) -> Vec<u8> {
     let mut out = Vec::with_capacity(4096 + img.payload_bytes() as usize);
     put_u64(&mut out, IMAGE_MAGIC);
     put_u32(&mut out, FORMAT_VERSION);
@@ -226,8 +244,6 @@ pub fn encode(img: &CheckpointImage) -> Vec<u8> {
             put_u64(&mut out, *seed);
         }
     }
-    let crc = crc32(&out);
-    put_u32(&mut out, crc);
     out
 }
 
@@ -419,7 +435,7 @@ pub fn decode(buf: &[u8]) -> Result<CheckpointImage, DecodeError> {
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
 
     pub(crate) fn sample_image() -> CheckpointImage {
@@ -500,6 +516,16 @@ mod tests {
         let bytes = encode(&img);
         let back = decode(&bytes).unwrap();
         assert_eq!(back, img);
+    }
+
+    #[test]
+    fn encode_with_pool_is_byte_identical() {
+        let img = sample_image();
+        let want = encode(&img);
+        for w in [1usize, 2, 4, 8] {
+            let pool = ckpt_par::Pool::new(w);
+            assert_eq!(encode_with_pool(&img, &pool), want, "width {w}");
+        }
     }
 
     #[test]

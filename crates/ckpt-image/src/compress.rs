@@ -38,11 +38,35 @@ impl PageEncoding {
     }
 }
 
-/// RLE-encode `data`. Returns `None` if the encoding would not be smaller.
-fn rle_encode(data: &[u8]) -> Option<Vec<u8>> {
-    let mut out = Vec::with_capacity(data.len() / 2);
+/// Reusable per-worker scratch space for page encoding. Holding the RLE
+/// buffer across pages means each worker grows it once to steady state
+/// instead of re-growing a fresh `Vec` for every page it encodes.
+#[derive(Debug, Default)]
+pub struct EncodeScratch {
+    rle: Vec<u8>,
+}
+
+impl EncodeScratch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// RLE-encode `data` into `out` (cleared first). Returns `false` if the
+/// encoding would not be smaller, leaving `out` in an unspecified state.
+///
+/// Every run emits exactly 2 bytes, so once `out.len() + 2 >= data.len()`
+/// no completion can come in under the raw size — the check at the top of
+/// the loop bails before the next run is even scanned, which on
+/// incompressible pages skips most of the byte-compare work the old
+/// run-boundary check still paid for.
+fn rle_encode_into(data: &[u8], out: &mut Vec<u8>) -> bool {
+    out.clear();
     let mut i = 0;
     while i < data.len() {
+        if out.len() + 2 >= data.len() {
+            return false;
+        }
         let b = data[i];
         let mut run = 1usize;
         while i + run < data.len() && data[i + run] == b && run < 255 {
@@ -50,12 +74,15 @@ fn rle_encode(data: &[u8]) -> Option<Vec<u8>> {
         }
         out.push(run as u8);
         out.push(b);
-        if out.len() >= data.len() {
-            return None;
-        }
         i += run;
     }
-    Some(out)
+    true
+}
+
+/// RLE-encode `data`. Returns `None` if the encoding would not be smaller.
+fn rle_encode(data: &[u8]) -> Option<Vec<u8>> {
+    let mut out = Vec::with_capacity(data.len() / 2);
+    rle_encode_into(data, &mut out).then_some(out)
 }
 
 /// RLE-decode into a buffer of known decoded size.
@@ -112,6 +139,20 @@ pub fn encode_page(data: &[u8]) -> (PageEncoding, Vec<u8>) {
     match rle_encode(data) {
         Some(rle) => (PageEncoding::Rle, rle),
         None => (PageEncoding::Raw, data.to_vec()),
+    }
+}
+
+/// [`encode_page`] with caller-provided scratch space. The RLE pass writes
+/// into the scratch buffer; only a successful encoding is copied out, as an
+/// exact-size allocation.
+pub fn encode_page_with(data: &[u8], scratch: &mut EncodeScratch) -> (PageEncoding, Vec<u8>) {
+    if is_zero_page(data) {
+        return (PageEncoding::Zero, Vec::new());
+    }
+    if rle_encode_into(data, &mut scratch.rle) {
+        (PageEncoding::Rle, scratch.rle.clone())
+    } else {
+        (PageEncoding::Raw, data.to_vec())
     }
 }
 
@@ -194,5 +235,61 @@ mod tests {
         let (enc, payload) = encode_page(&page);
         assert_eq!(enc, PageEncoding::Rle);
         assert_eq!(decode_page(enc, &payload, 1000).unwrap(), page);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_encode() {
+        // A single scratch across pages of very different shapes must give
+        // exactly what per-page `encode_page` gives.
+        let mut scratch = EncodeScratch::new();
+        let pages: Vec<Vec<u8>> = vec![
+            vec![0u8; PS],
+            vec![0xABu8; PS],
+            (0..PS).map(|i| (i * 131 + 7) as u8).collect(),
+            {
+                let mut p = vec![0u8; PS];
+                p[100..300].fill(5);
+                p[4000..4096].copy_from_slice(&(0..96).map(|i| i as u8).collect::<Vec<_>>());
+                p
+            },
+        ];
+        for page in &pages {
+            assert_eq!(encode_page_with(page, &mut scratch), encode_page(page));
+        }
+    }
+
+    #[test]
+    fn early_bail_matches_reference_rle() {
+        // The top-of-loop bail must return `None` in exactly the cases the
+        // run-boundary check did. Reference: encode fully, then compare
+        // sizes once at the end (a superset acceptor of any mid-loop bail).
+        fn reference(data: &[u8]) -> Option<Vec<u8>> {
+            let mut out = Vec::new();
+            let mut i = 0;
+            while i < data.len() {
+                let b = data[i];
+                let mut run = 1usize;
+                while i + run < data.len() && data[i + run] == b && run < 255 {
+                    run += 1;
+                }
+                out.push(run as u8);
+                out.push(b);
+                i += run;
+            }
+            // Empty input encodes to empty output (vacuously "smaller").
+            (data.is_empty() || out.len() < data.len()).then_some(out)
+        }
+        let mut state = 0x1234_5678u32;
+        for len in [0usize, 1, 2, 3, 7, 64, 255, 256, 1000] {
+            for density in [0u32, 1, 4, 64, 255] {
+                let data: Vec<u8> = (0..len)
+                    .map(|_| {
+                        state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+                        if (state >> 24) <= density { (state >> 8) as u8 } else { 0 }
+                    })
+                    .collect();
+                assert_eq!(rle_encode(&data), reference(&data), "len {len} density {density}");
+            }
+        }
     }
 }

@@ -93,6 +93,81 @@ pub fn crc32(data: &[u8]) -> u32 {
     c.finalize()
 }
 
+// ---------------------------------------------------------------------
+// CRC combination (GF(2) matrix shift), the primitive that makes the
+// whole-image CRC parallelizable: chunks are hashed independently and
+// `crc32_combine` merges them into the exact CRC of the concatenation.
+// ---------------------------------------------------------------------
+
+/// Multiply the GF(2) 32×32 matrix `mat` by the column vector `vec`.
+fn gf2_matrix_times(mat: &[u32; 32], mut vec: u32) -> u32 {
+    let mut sum = 0u32;
+    let mut i = 0usize;
+    while vec != 0 {
+        if vec & 1 != 0 {
+            sum ^= mat[i];
+        }
+        vec >>= 1;
+        i += 1;
+    }
+    sum
+}
+
+/// `sq = mat²` in GF(2).
+fn gf2_matrix_square(sq: &mut [u32; 32], mat: &[u32; 32]) {
+    for n in 0..32 {
+        sq[n] = gf2_matrix_times(mat, mat[n]);
+    }
+}
+
+/// Combine two CRC-32 values: given `crc1 = crc32(A)` and
+/// `crc2 = crc32(B)`, returns `crc32(A ‖ B)` where `len2 = B.len()`.
+///
+/// This is the standard zlib construction: `crc1` is advanced through
+/// `len2` zero bytes by repeated squaring of the "shift one zero byte"
+/// operator (so the cost is `O(log len2)` 32×32 matrix products, not
+/// `O(len2)`), then xor'd with `crc2`. The pre/post conditioning of the
+/// two inputs cancels exactly, so the result is bit-identical to hashing
+/// the concatenated buffer in one pass.
+pub fn crc32_combine(crc1: u32, crc2: u32, len2: u64) -> u32 {
+    if len2 == 0 {
+        return crc1;
+    }
+    let mut even = [0u32; 32]; // even-power-of-two zero-byte shifts
+    let mut odd = [0u32; 32]; // odd-power shifts
+    // `odd` starts as the one-zero-*bit* shift operator.
+    odd[0] = POLY;
+    let mut row = 1u32;
+    for slot in odd.iter_mut().skip(1) {
+        *slot = row;
+        row <<= 1;
+    }
+    // Square twice: one zero *byte* (8 bits) in `odd`.
+    gf2_matrix_square(&mut even, &odd);
+    gf2_matrix_square(&mut odd, &even);
+    let mut crc1 = crc1;
+    let mut len2 = len2;
+    loop {
+        gf2_matrix_square(&mut even, &odd);
+        if len2 & 1 != 0 {
+            crc1 = gf2_matrix_times(&even, crc1);
+        }
+        len2 >>= 1;
+        if len2 == 0 {
+            break;
+        }
+        gf2_matrix_square(&mut odd, &even);
+        if len2 & 1 != 0 {
+            crc1 = gf2_matrix_times(&odd, crc1);
+        }
+        len2 >>= 1;
+        if len2 == 0 {
+            break;
+        }
+    }
+    crc1 ^ crc2
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -130,6 +205,39 @@ mod tests {
         for len in 0..=data.len() {
             assert_eq!(crc32(&data[..len]), reference(&data[..len]), "len {len}");
         }
+    }
+
+    #[test]
+    fn combine_matches_one_shot() {
+        let data: Vec<u8> = (0..10_000u32).map(|i| (i.wrapping_mul(2654435761) >> 13) as u8).collect();
+        // Every split point of a small prefix, plus coarse splits of the
+        // full buffer, must reassemble to the one-shot CRC.
+        for split in 0..=64usize {
+            let (a, b) = data[..64].split_at(split);
+            assert_eq!(
+                crc32_combine(crc32(a), crc32(b), b.len() as u64),
+                crc32(&data[..64]),
+                "split {split}"
+            );
+        }
+        for split in [0usize, 1, 4095, 4096, 5000, 9999, 10_000] {
+            let (a, b) = data.split_at(split);
+            assert_eq!(
+                crc32_combine(crc32(a), crc32(b), b.len() as u64),
+                crc32(&data),
+                "split {split}"
+            );
+        }
+    }
+
+    #[test]
+    fn combine_is_associative_over_many_chunks() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(30_000).collect();
+        let mut acc = crc32(&[]);
+        for chunk in data.chunks(777) {
+            acc = crc32_combine(acc, crc32(chunk), chunk.len() as u64);
+        }
+        assert_eq!(acc, crc32(&data));
     }
 
     #[test]

@@ -53,6 +53,22 @@ pub fn store_image(
     Ok(storage.store(&key, &bytes, cost)?)
 }
 
+/// Store an already-encoded image under the canonical key derived from
+/// `(pid, seq)` — the overlapped cluster pipeline encodes off the storage
+/// lock and hands the bytes in here. The bytes must be what
+/// [`ckpt_image::encode`] produces for that `(pid, seq)`.
+pub fn store_image_bytes(
+    storage: &mut dyn StableStorage,
+    job: &str,
+    pid: u32,
+    seq: u64,
+    bytes: &[u8],
+    cost: &CostModel,
+) -> Result<StoreReceipt, ImageStoreError> {
+    let key = image_key(job, pid, seq);
+    Ok(storage.store(&key, bytes, cost)?)
+}
+
 /// Load and validate one image; returns (image, modelled time).
 pub fn load_image(
     storage: &dyn StableStorage,

@@ -18,7 +18,7 @@ pub mod media;
 pub use backend::{image_key, StableStorage, StorageClass, StorageError, StoreReceipt};
 pub use images::{
     load_chain_at, load_image, load_latest_chain, load_latest_valid_chain, prune_before, store_image,
-    ChainLoad, ImageStoreError,
+    store_image_bytes, ChainLoad, ImageStoreError,
 };
 pub use inject::FaultInjectStore;
 pub use media::{LocalDisk, NvramStore, RamStore, RemoteServer, RemoteStore, SwapStore};

@@ -259,6 +259,23 @@ pub struct TraceReport {
     /// accelerator, and adding it must not perturb any pre-existing totals
     /// (the `report all` output is pinned byte-for-byte).
     pub soft_tlb_flushes: BTreeMap<TlbFlushSite, u64>,
+    /// Parallel-encode pool activity (tasks run, successful steals, merge
+    /// stalls) attributed to traced checkpoints. Host-side concurrency
+    /// observability, excluded from `events_recorded` for the same reason
+    /// as `soft_tlb_flushes`.
+    pub par_encode: ParEncodeAgg,
+}
+
+/// Aggregated worker-pool counters for parallel page encoding.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ParEncodeAgg {
+    /// Pages/items encoded on the pool (serial path included).
+    pub tasks: u64,
+    /// Successful work-steal operations between pool workers.
+    pub steals: u64,
+    /// Results completed out of submission order and parked by the
+    /// ordered merge.
+    pub merge_stalls: u64,
 }
 
 impl TraceReport {
@@ -430,6 +447,20 @@ impl TraceHandle {
         *d.report.soft_tlb_flushes.entry(site).or_default() += 1;
     }
 
+    /// Accumulate parallel-encode pool counter deltas (plain integers so
+    /// simos stays independent of the pool crate). Does not bump
+    /// `events_recorded` — see [`TraceReport::par_encode`].
+    #[inline]
+    pub fn par_encode(&self, tasks: u64, steals: u64, merge_stalls: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut d = self.0.data.lock().unwrap();
+        d.report.par_encode.tasks += tasks;
+        d.report.par_encode.steals += steals;
+        d.report.par_encode.merge_stalls += merge_stalls;
+    }
+
     /// Emit a cluster-level event.
     #[inline]
     pub fn cluster(&self, event: ClusterEvent, at_ns: u64) {
@@ -525,6 +556,20 @@ mod tests {
         let r = t.report();
         assert_eq!(r.soft_tlb_flushes[&TlbFlushSite::MmSwitch], 2);
         assert_eq!(r.soft_tlb_flushes[&TlbFlushSite::Restore], 1);
+        // Must not perturb kernel counters or the recorded-event total.
+        assert_eq!(r.events_recorded, 0);
+        assert!(r.kernel.is_empty());
+    }
+
+    #[test]
+    fn par_encode_counters_do_not_disturb_event_totals() {
+        let t = TraceHandle::recording();
+        t.par_encode(128, 3, 2);
+        t.par_encode(64, 0, 1);
+        let r = t.report();
+        assert_eq!(r.par_encode.tasks, 192);
+        assert_eq!(r.par_encode.steals, 3);
+        assert_eq!(r.par_encode.merge_stalls, 3);
         // Must not perturb kernel counters or the recorded-event total.
         assert_eq!(r.events_recorded, 0);
         assert!(r.kernel.is_empty());

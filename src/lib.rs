@@ -11,6 +11,8 @@
 //! * [`simos`] — the OS substrate (processes, VM, signals, scheduler,
 //!   kernel threads, syscalls, cost model, and the [`trace`] subsystem);
 //! * [`ckpt_image`] — the checkpoint image format;
+//! * [`ckpt_par`] — the scoped work-stealing pool with deterministic
+//!   ordered merge behind the parallel checkpoint pipeline;
 //! * [`ckpt_storage`] — stable-storage backends with availability
 //!   semantics;
 //! * [`ckpt_core`] — trackers, the seven mechanism families, pod
@@ -32,6 +34,7 @@
 pub use ckpt_cluster as cluster;
 pub use ckpt_core as ckpt;
 pub use ckpt_image as image;
+pub use ckpt_par as par;
 pub use ckpt_storage as storage;
 pub use ckpt_survey as survey;
 pub use simos;

@@ -1,0 +1,194 @@
+//! Property tests for the parallel checkpoint pipeline: at every pool
+//! width the encoded image bytes must be identical to the width-1 (exact
+//! serial) path, both for randomized in-memory images and for full and
+//! incremental captures of randomized live address spaces.
+//!
+//! Cases are generated deterministically by [`common::Gen`] — every run
+//! covers the same corpus, and a failing seed is directly reproducible.
+
+mod common;
+
+use std::sync::Arc;
+
+use ckpt_restart::ckpt::capture::{capture_image, CaptureOptions};
+use ckpt_restart::ckpt::tracker::{Tracker, TrackerKind};
+use ckpt_restart::image::{
+    encode, encode_with_pool, CheckpointImage, ImageHeader, ImageKind, PageRecord, PolicyRecord,
+    ProgramRecord, RegsRecord, SigRecord,
+};
+use ckpt_restart::par::Pool;
+use ckpt_restart::simos::apps::{AppParams, NativeKind};
+use ckpt_restart::simos::cost::CostModel;
+use ckpt_restart::simos::Kernel;
+use common::Gen;
+
+const WIDTHS: [usize; 3] = [2, 4, 8];
+
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A page drawn from the distributions the codec branches on: all-zero
+/// (Zero encoding), constant (extreme RLE), random (incompressible Raw),
+/// and mostly-zero with a dense island (mid-bail territory).
+fn arb_page(g: &mut Gen) -> Vec<u8> {
+    match g.range(0, 4) {
+        0 => vec![0u8; 4096],
+        1 => vec![g.byte(); 4096],
+        2 => g.bytes(4096),
+        _ => {
+            let mut v = vec![0u8; 4096];
+            let n = g.range(0, 4000) as usize;
+            v[n..n + 64].fill(g.byte());
+            v
+        }
+    }
+}
+
+/// A randomized image whose page payload can exceed the parallel-CRC
+/// chunk size, so wide pools genuinely split the trailer checksum.
+fn arb_image(g: &mut Gen) -> CheckpointImage {
+    let seq = g.range(1, 500);
+    let pages: Vec<PageRecord> = (0..g.range(0, 200))
+        .map(|_| PageRecord::capture(g.range(0, 1 << 20), &arb_page(g)))
+        .collect();
+    CheckpointImage {
+        header: ImageHeader {
+            pid: g.u64() as u32,
+            seq,
+            parent_seq: seq - 1,
+            kind: if seq.is_multiple_of(2) {
+                ImageKind::Incremental
+            } else {
+                ImageKind::Full
+            },
+            taken_at_ns: seq * 13,
+            mechanism: "par-prop".into(),
+            node: (seq % 8) as u32,
+        },
+        regs: RegsRecord {
+            pc: seq * 4,
+            gpr: [seq; 16],
+        },
+        brk: seq * 4096,
+        work_done: seq,
+        policy: PolicyRecord {
+            tag: (seq % 2) as u8,
+            value: (seq % 23) as i32,
+        },
+        vmas: Vec::new(),
+        pages,
+        fds: Vec::new(),
+        files: Vec::new(),
+        sig: SigRecord::default(),
+        timers: Vec::new(),
+        program: ProgramRecord::Native {
+            kind: (seq % 5) as u8,
+            mem_bytes: 65536,
+            total_steps: 100,
+            writes_per_step: 8,
+            write_stride_pages: 4,
+            seed: seq,
+        },
+    }
+}
+
+#[test]
+fn pooled_encode_is_byte_identical_on_random_images() {
+    for case in 0..48u64 {
+        let mut g = Gen::new(0x7A11 + case);
+        let img = arb_image(&mut g);
+        let serial = encode(&img);
+        let one = encode_with_pool(&img, &Pool::new(1));
+        assert_eq!(one, serial, "case {case}: width 1 is not the serial path");
+        for w in WIDTHS {
+            let par = encode_with_pool(&img, &Pool::new(w));
+            assert_eq!(par, serial, "case {case} width {w}: bytes diverged");
+        }
+    }
+}
+
+fn spawn_random_process(g: &mut Gen) -> (Kernel, ckpt_restart::simos::types::Pid) {
+    let kind = match g.range(0, 5) {
+        0 => NativeKind::SparseRandom,
+        1 => NativeKind::DenseSweep,
+        2 => NativeKind::AppendLog,
+        3 => NativeKind::Stencil2D,
+        _ => NativeKind::ReadMostly,
+    };
+    let mut params = AppParams::small();
+    params.mem_bytes = 128 * 1024 + g.range(0, 16) * 64 * 1024;
+    params.writes_per_step = 1 + g.range(0, 16);
+    params.total_steps = u64::MAX;
+    let mut k = Kernel::new(CostModel::circa_2005());
+    let pid = k.spawn_native(kind, params).expect("spawn");
+    let warmup = 1_000_000 + g.range(0, 8) * 500_000;
+    k.run_for(warmup).unwrap();
+    (k, pid)
+}
+
+/// Capture with `opts` at width 1 and at every wider pool; all variants
+/// must produce the same image struct and the same encoded bytes (the
+/// header timestamp is normalized — capturing repeatedly advances the
+/// virtual clock via the memcpy charge).
+fn assert_capture_width_invariant(
+    k: &mut Kernel,
+    pid: ckpt_restart::simos::types::Pid,
+    opts: &CaptureOptions,
+    label: &str,
+) {
+    let serial = capture_image(k, pid, opts).unwrap();
+    let serial_bytes = encode(&serial);
+    let digest = fnv1a64(&serial_bytes);
+    for w in WIDTHS {
+        let mut o = opts.clone();
+        o.encode_pool = Some(Arc::new(Pool::new(w)));
+        let mut pooled = capture_image(k, pid, &o).unwrap();
+        pooled.header.taken_at_ns = serial.header.taken_at_ns;
+        assert_eq!(pooled, serial, "{label} width {w}: image struct diverged");
+        let pooled_bytes = encode(&pooled);
+        assert_eq!(
+            fnv1a64(&pooled_bytes),
+            digest,
+            "{label} width {w}: image digest diverged"
+        );
+        assert_eq!(pooled_bytes, serial_bytes, "{label} width {w}: bytes diverged");
+    }
+}
+
+#[test]
+fn pooled_capture_matches_serial_on_random_address_spaces() {
+    for case in 0..12u64 {
+        let mut g = Gen::new(0xCAF7 + case);
+        let (mut k, pid) = spawn_random_process(&mut g);
+
+        // Full capture of the randomized address space.
+        k.freeze_process(pid).unwrap();
+        assert_capture_width_invariant(
+            &mut k,
+            pid,
+            &CaptureOptions::full("par-prop", 1),
+            &format!("case {case} full"),
+        );
+
+        // Incremental capture of the dirty set accumulated after the full.
+        let mut tracker = Tracker::new(TrackerKind::KernelPage);
+        tracker.arm(&mut k, pid).unwrap();
+        k.thaw_process(pid).unwrap();
+        let run = 200_000 + g.range(0, 8) * 200_000;
+        k.run_for(run).unwrap();
+        k.freeze_process(pid).unwrap();
+        let dirty = tracker.collect(&mut k, pid).unwrap().pages;
+        assert_capture_width_invariant(
+            &mut k,
+            pid,
+            &CaptureOptions::incremental("par-prop", 2, 1, dirty),
+            &format!("case {case} incremental"),
+        );
+    }
+}
