@@ -18,6 +18,15 @@ echo '== crash-matrix gate (full cross product, deterministic, <60s) =='
 timeout 60 cargo test -q -p ckpt-restart --test crash_matrix -- --nocapture \
     | grep -E 'crash matrix:|skipped:' | tail -20
 
+echo '== replication gate: quorum properties + pinned report =='
+# The quorum-replication tier gets its own named gate so a regression
+# reads as "replication broke", not as a generic workspace-test failure:
+# randomized adversarial damage must stay digest-identical within the
+# N−w tolerance (and typed-QuorumLost beyond it), and the `report
+# replication` output is FNV-pinned by the golden test.
+cargo test -q -p ckpt-restart --test replication_properties
+cargo test -q -p ckpt-bench --test golden_c12
+
 echo '== cargo clippy -- -D warnings =='
 cargo clippy --workspace --all-targets -- -D warnings
 
@@ -62,6 +71,7 @@ awk -v w="$TOTAL_WALL" -v c="$TOTAL_CEILING" 'BEGIN { exit !(w < c) }' || {
             c9_batch_vs_autonomic)       echo 1.192 ;;
             c10_sensitivity)             echo 0.445 ;;
             trace)                       echo 0.584 ;;
+            c12_replication)             echo 0.054 ;;
             *)                           echo 0.000 ;;
         esac
     }

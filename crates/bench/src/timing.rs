@@ -6,7 +6,7 @@
 //! and gates on the headline experiment (C7a) so a translation-cache
 //! regression shows up as a red build, not a slowly rotting report.
 
-use crate::experiments::EXPERIMENTS;
+use crate::experiments::{EXPERIMENTS, TIMED_STANDALONE};
 use std::time::Instant;
 
 /// One experiment's measurement.
@@ -18,11 +18,14 @@ pub struct ExperimentTiming {
     pub output_bytes: usize,
 }
 
-/// Run every experiment, timing each. Output text is discarded; only
-/// wall-clock and output size are kept.
+/// Run every experiment, timing each — the `report all` set plus the
+/// timed standalone experiments (C12), so new report surfaces land in the
+/// `total_wall_s` budget the CI gate enforces. Output text is discarded;
+/// only wall-clock and output size are kept.
 pub fn measure_all() -> Vec<ExperimentTiming> {
     EXPERIMENTS
         .iter()
+        .chain(TIMED_STANDALONE.iter())
         .map(|(name, f)| {
             let start = Instant::now();
             let out = f();
@@ -109,5 +112,8 @@ mod tests {
         assert!(names.contains(&"c7a_cluster_mechanistic"));
         assert!(names.contains(&"trace"));
         assert_eq!(names.len(), 15);
+        // The timed set additionally budgets the standalone experiments.
+        let timed: Vec<&str> = TIMED_STANDALONE.iter().map(|(n, _)| *n).collect();
+        assert_eq!(timed, ["c12_replication"]);
     }
 }

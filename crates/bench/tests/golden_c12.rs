@@ -1,0 +1,51 @@
+//! Golden regression pin for `report c12`, the quorum-replication
+//! experiment.
+//!
+//! Everything in the report is deterministic by construction: replica
+//! admission and fault checks run sequentially in replica order, backoff
+//! jitter is seeded per (key, replica), and all latencies are virtual
+//! time from the cost model — so the full output pins byte-for-byte. A
+//! moved hash means the replication protocol's observable behavior
+//! changed (quorum arithmetic, read-repair, retry schedule, or cost
+//! accounting) and must be reviewed, not waved through.
+//!
+//! If an *intentional* change lands, regenerate: hash
+//! `./target/release/report c12`'s stdout with the FNV-1a 64 below and
+//! update both constants in the same commit.
+
+const GOLDEN_FNV1A64: u64 = 0xaebb_2047_dc93_7b2d;
+const GOLDEN_BYTES: usize = 2294;
+
+fn fnv1a64(data: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+#[test]
+fn report_c12_output_matches_pinned_baseline() {
+    // Exactly what the report binary prints: c12_replication() + "\n".
+    let out = format!("{}\n", ckpt_bench::c12_replication());
+    assert_eq!(
+        out.len(),
+        GOLDEN_BYTES,
+        "report c12 output length changed — replication report no longer baseline"
+    );
+    assert_eq!(
+        fnv1a64(out.as_bytes()),
+        GOLDEN_FNV1A64,
+        "report c12 output bytes changed — replication report no longer baseline"
+    );
+}
+
+#[test]
+fn c12_reports_zero_incorrect_cells() {
+    let out = ckpt_bench::c12_replication();
+    assert!(
+        !out.contains("false") && !out.contains("WRONG BYTES"),
+        "survivability table has an incorrect cell:\n{out}"
+    );
+}

@@ -10,6 +10,8 @@
 //! returns after a repair delay.
 
 use crate::node::{Node, NodeId};
+use ckpt_core::shared_storage;
+use ckpt_replica::{ReplicaConfig, ReplicaSet, ReplicatedStore};
 use ckpt_storage::RemoteServer;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -57,6 +59,10 @@ pub struct FailureEvent {
 pub struct Cluster {
     pub nodes: Vec<Node>,
     pub remote_server: Arc<RemoteServer>,
+    /// The shared replica set behind every node's remote handle when the
+    /// cluster was built with [`Cluster::new_replicated`]; `None` under the
+    /// single-server remote.
+    replica_set: Option<Arc<ReplicaSet>>,
     now_ns: u64,
     failure_cfg: FailureConfig,
     rng: StdRng,
@@ -74,9 +80,56 @@ pub struct Cluster {
 impl Cluster {
     pub fn new(n_nodes: usize, cost: CostModel, failure_cfg: FailureConfig) -> Self {
         let remote_server = RemoteServer::new(1 << 40);
+        let server = remote_server.clone();
+        Self::build(n_nodes, cost, failure_cfg, remote_server, None, move |id, cost| {
+            Node::new(id, cost, server.clone())
+        })
+    }
+
+    /// Build a cluster whose remote stable storage is one logical
+    /// quorum-replicated store over `n_replicas` simulated replica nodes
+    /// with write quorum `w` (`w > n_replicas / 2`). Every cluster node
+    /// gets its own [`ReplicatedStore`] client onto the same shared
+    /// [`ReplicaSet`], so a checkpoint committed by one node is readable
+    /// from any survivor — the paper's survivability requirement — and
+    /// replica losses degrade to a typed `QuorumLost`, never silence.
+    pub fn new_replicated(
+        n_nodes: usize,
+        cost: CostModel,
+        failure_cfg: FailureConfig,
+        n_replicas: usize,
+        w: usize,
+    ) -> Self {
+        // The single-server remote is still constructed (the field is part
+        // of the public surface) but no node points at it in this mode.
+        let remote_server = RemoteServer::new(1 << 40);
+        let set = ReplicaSet::new(n_replicas);
+        let cfg = ReplicaConfig::new(n_replicas, w);
+        let client_set = set.clone();
+        Self::build(
+            n_nodes,
+            cost,
+            failure_cfg,
+            remote_server,
+            Some(set),
+            move |id, cost| {
+                let store = ReplicatedStore::new(client_set.clone(), cfg);
+                Node::with_remote(id, cost, shared_storage(store))
+            },
+        )
+    }
+
+    fn build(
+        n_nodes: usize,
+        cost: CostModel,
+        failure_cfg: FailureConfig,
+        remote_server: Arc<RemoteServer>,
+        replica_set: Option<Arc<ReplicaSet>>,
+        mut make_node: impl FnMut(NodeId, CostModel) -> Node,
+    ) -> Self {
         let mut rng = StdRng::seed_from_u64(failure_cfg.seed);
         let nodes: Vec<Node> = (0..n_nodes)
-            .map(|i| Node::new(NodeId(i as u32), cost.clone(), remote_server.clone()))
+            .map(|i| make_node(NodeId(i as u32), cost.clone()))
             .collect();
         let next_failure = (0..n_nodes)
             .map(|_| Self::draw_failure(&mut rng, &failure_cfg, 0))
@@ -84,6 +137,7 @@ impl Cluster {
         Cluster {
             nodes,
             remote_server,
+            replica_set,
             now_ns: 0,
             failure_cfg,
             rng,
@@ -92,6 +146,11 @@ impl Cluster {
             failure_log: Vec::new(),
             trace: TraceHandle::disabled(),
         }
+    }
+
+    /// The shared replica set (replicated clusters only).
+    pub fn replica_set(&self) -> Option<&Arc<ReplicaSet>> {
+        self.replica_set.as_ref()
     }
 
     /// Install a trace sink on the cluster and every node kernel (nodes

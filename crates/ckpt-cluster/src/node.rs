@@ -43,13 +43,20 @@ pub struct Node {
 
 impl Node {
     pub fn new(id: NodeId, cost: CostModel, remote_server: Arc<RemoteServer>) -> Self {
+        Self::with_remote(id, cost, shared_storage(RemoteStore::new(remote_server)))
+    }
+
+    /// Build a node whose remote stable-storage handle is supplied by the
+    /// caller — e.g. a per-node [`ckpt_replica::ReplicatedStore`] client
+    /// over a cluster-shared replica set.
+    pub fn with_remote(id: NodeId, cost: CostModel, remote: SharedStorage) -> Self {
         Node {
             id,
             kernel: Some(Kernel::new(cost.clone())),
             local_disk: shared_storage(LocalDisk::new(1 << 34)),
             swap: shared_storage(SwapStore::new(1 << 33)),
             ram_store: shared_storage(RamStore::new(1 << 32)),
-            remote: shared_storage(RemoteStore::new(remote_server)),
+            remote,
             down: None,
             failures: 0,
             cost,

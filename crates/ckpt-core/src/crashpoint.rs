@@ -30,6 +30,7 @@ use crate::mechanism::user_level::{Trigger, UserLevelMechanism};
 use crate::mechanism::Mechanism;
 use crate::tracker::TrackerKind;
 use crate::{shared_storage, RestorePid, SharedStorage};
+use ckpt_replica::{ReplicaConfig, ReplicaSet, ReplicatedStore};
 use ckpt_storage::{
     load_latest_valid_chain, FaultInjectStore, LocalDisk, NvramStore, RamStore, RemoteServer,
     RemoteStore, StableStorage, SwapStore,
@@ -69,6 +70,25 @@ pub const BACKENDS: [&str; 3] = ["local-disk", "remote", "nvram"];
 /// question is power-down, so the volatile RAM medium is included).
 pub const HIBERNATE_BACKENDS: [&str; 2] = ["swap", "ram"];
 
+/// Quorum-replicated backends forming the replication tier: every
+/// per-replica fault site × every fault kind × both (N, w) configurations.
+/// One engine-driven mechanism family carries the tier — the layers above
+/// the `StableStorage` trait are orthogonal to replication and already
+/// swept against every backend by the main tiers.
+pub const REPLICATED_BACKENDS: [&str; 2] = ["replicated(3,2)", "replicated(5,3)"];
+
+/// The mechanism family driven over the replicated backends.
+pub const REPLICATION_MECH: &str = "syscall";
+
+/// Parse `"replicated(N,w)"` into its quorum parameters.
+fn replicated_params(which: &str) -> Option<(usize, usize)> {
+    match which {
+        "replicated(3,2)" => Some((3, 2)),
+        "replicated(5,3)" => Some((5, 3)),
+        _ => None,
+    }
+}
+
 /// One (mechanism × backend) column of the matrix.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MatrixConfig {
@@ -87,6 +107,12 @@ pub fn all_configs() -> Vec<MatrixConfig> {
     for backend in HIBERNATE_BACKENDS {
         v.push(MatrixConfig {
             mechanism: "hibernate",
+            backend,
+        });
+    }
+    for backend in REPLICATED_BACKENDS {
+        v.push(MatrixConfig {
+            mechanism: REPLICATION_MECH,
             backend,
         });
     }
@@ -313,6 +339,16 @@ fn raw_backend(which: &str) -> Box<dyn StableStorage> {
 }
 
 fn injected_storage(which: &str, faults: &FaultHandle) -> SharedStorage {
+    if let Some((n, w)) = replicated_params(which) {
+        // The replicated store consults the shared handle itself at its
+        // per-replica `replica/r<i>/{store,load}` sites; the outer
+        // FaultInjectStore adds the client-side `storage/replicated(N,w)`
+        // sites, so both the client's path and every replica's path are
+        // swept.
+        let store = ReplicatedStore::new(ReplicaSet::new(n), ReplicaConfig::new(n, w))
+            .with_faults(faults.clone());
+        return shared_storage(FaultInjectStore::new(Box::new(store), faults.clone()));
+    }
     shared_storage(FaultInjectStore::new(raw_backend(which), faults.clone()))
 }
 

@@ -126,6 +126,9 @@ pub struct KernelCkptEngine {
     /// Pool for parallel page encoding during capture (default: the
     /// process-wide [`ckpt_par::global`] pool; width 1 = exact serial path).
     pub(crate) encode_pool: std::sync::Arc<ckpt_par::Pool>,
+    /// Replica manifests recorded for the current chain, one per stored
+    /// segment, in store order. Empty unless the backend replicates.
+    chain_manifests: Vec<ckpt_storage::ReplicaManifest>,
     seq: u64,
     last_full_seq: u64,
     target_pid: Option<Pid>,
@@ -201,6 +204,29 @@ impl KernelCkptEngineBuilder {
         self
     }
 
+    /// Replace the engine's storage with an N-way quorum-replicated store
+    /// (write quorum `w > n/2`) over a fresh simulated replica set, fanned
+    /// out on the engine's encode pool. Each committed segment's
+    /// [`ReplicaManifest`](ckpt_storage::ReplicaManifest) is recorded in
+    /// the chain metadata ([`KernelCkptEngine::chain_manifests`]).
+    pub fn replicated(mut self, n: usize, w: usize) -> Self {
+        let store = ckpt_replica::ReplicatedStore::new(
+            ckpt_replica::ReplicaSet::new(n),
+            ckpt_replica::ReplicaConfig::new(n, w),
+        )
+        .with_pool(self.engine.encode_pool.clone());
+        self.engine.storage = crate::shared_storage(store);
+        self
+    }
+
+    /// Like [`Self::replicated`], but over a caller-supplied store (e.g.
+    /// a shared [`ckpt_replica::ReplicaSet`] spanning a cluster, or one
+    /// wired to a fault handle).
+    pub fn replicated_store(mut self, store: ckpt_replica::ReplicatedStore) -> Self {
+        self.engine.storage = crate::shared_storage(store);
+        self
+    }
+
     pub fn build(self) -> KernelCkptEngine {
         self.engine
     }
@@ -226,6 +252,7 @@ impl KernelCkptEngine {
                 prune: true,
                 node: 0,
                 encode_pool: ckpt_par::global().clone(),
+                chain_manifests: Vec::new(),
                 seq: 0,
                 last_full_seq: 0,
                 target_pid: None,
@@ -262,6 +289,12 @@ impl KernelCkptEngine {
 
     pub fn target(&self) -> Option<Pid> {
         self.target_pid
+    }
+
+    /// Replica manifests for the committed chain segments, in store order.
+    /// Empty unless the storage backend replicates.
+    pub fn chain_manifests(&self) -> &[ckpt_storage::ReplicaManifest] {
+        &self.chain_manifests
     }
 
     pub fn set_target(&mut self, pid: Pid) {
@@ -352,6 +385,14 @@ impl KernelCkptEngine {
             encoded_len = receipt.bytes;
             storage_ns = receipt.time_ns;
             let label = storage.label();
+            // Chain metadata: where (and how widely) this segment landed.
+            if let Some(m) = storage.replica_manifest(&ckpt_storage::image_key(
+                &self.job,
+                img.header.pid,
+                img.header.seq,
+            )) {
+                self.chain_manifests.push(m);
+            }
             drop(storage);
             k.trace
                 .storage(StorageOp::Store, &label, encoded_len, storage_ns);
@@ -387,6 +428,10 @@ impl KernelCkptEngine {
                 let label = storage.label();
                 let _ = prune_before(storage.as_mut(), &self.job, pid.0, next_seq, &k.cost);
                 drop(storage);
+                // Keys sort by zero-padded seq, so this drops exactly the
+                // manifests of the pruned segments.
+                let cut = ckpt_storage::image_key(&self.job, pid.0, next_seq);
+                self.chain_manifests.retain(|m| m.key >= cut);
                 k.trace.storage(StorageOp::Delete, &label, 0, 0);
                 k.trace.phase(
                     &self.mechanism_name,
@@ -672,6 +717,58 @@ mod tests {
             .restart_from_storage(&mut k2, RestorePid::Fresh)
             .is_err());
         drop(e);
+    }
+
+    #[test]
+    fn replicated_engine_records_manifests_and_survives_replica_loss() {
+        let mut k = Kernel::new(CostModel::circa_2005());
+        let mut params = AppParams::small();
+        params.mem_bytes = 1024 * 1024;
+        params.total_steps = u64::MAX;
+        let pid = k.spawn_native(NativeKind::SparseRandom, params).unwrap();
+        k.run_for(10_000_000).unwrap();
+        let store = ckpt_replica::ReplicatedStore::fresh(3, 2);
+        let set = store.replica_set();
+        let mut e = KernelCkptEngine::builder(
+            "test",
+            "job",
+            shared_storage(LocalDisk::new(1)), // replaced below
+            TrackerKind::KernelPage,
+        )
+        .replicated_store(store)
+        .build();
+        let mut work_at_last = 0;
+        for _ in 0..3 {
+            k.freeze_process(pid).unwrap();
+            e.checkpoint_in_kernel(&mut k, pid).unwrap();
+            work_at_last = k.process(pid).unwrap().work_done;
+            k.thaw_process(pid).unwrap();
+            run_steps(&mut k, pid, 5);
+        }
+        // One manifest per committed segment, in store order, all at the
+        // configured quorum and fully acked.
+        let ms = e.chain_manifests();
+        assert_eq!(ms.len(), 3);
+        assert!(ms.windows(2).all(|w| w[0].key < w[1].key));
+        for m in ms {
+            assert_eq!((m.n, m.w), (3, 2));
+            assert_eq!(m.acked, vec![0, 1, 2]);
+            assert!(m.bytes > 0 && m.digest != 0);
+        }
+        // A replica dies; the committed chain must still restart bit-exact
+        // from the surviving quorum.
+        set.node(2).fail();
+        let mut k2 = Kernel::new(CostModel::circa_2005());
+        let r = e.restart_from_storage(&mut k2, RestorePid::Fresh).unwrap();
+        assert_eq!(r.work_done, work_at_last);
+
+        // A forced full prunes the old chain and drops its manifests too.
+        e.full_every = 1;
+        k.freeze_process(pid).unwrap();
+        e.checkpoint_in_kernel(&mut k, pid).unwrap();
+        k.thaw_process(pid).unwrap();
+        assert_eq!(e.chain_manifests().len(), 1);
+        assert_eq!(e.chain_manifests()[0].acked, vec![0, 1]);
     }
 
     #[test]

@@ -1,0 +1,26 @@
+//! # ckpt-replica — N-way quorum-replicated stable storage
+//!
+//! The paper's survivability argument (Section 4.1, DESIGN.md §C6) is
+//! binary: a checkpoint either lives where the failed node's death cannot
+//! reach it, or it is gone. This crate makes the "remote" column concrete
+//! the way production checkpoint stacks do: one logical stable store
+//! backed by **N** independent replica nodes, writes committed at a
+//! majority write quorum **w > N/2**, reads assembled from the newest
+//! intact copy with read-repair, and a typed
+//! [`QuorumLost`](ckpt_storage::StorageError::QuorumLost) refusal — never
+//! a guess — once more than `N − w` replicas are lost.
+//!
+//! * [`backoff`] — jittered exponential retry schedules over virtual time;
+//! * [`node`] — the simulated replica nodes and their versioned,
+//!   digest-protected frames;
+//! * [`store`] — [`ReplicatedStore`], the
+//!   [`StableStorage`](ckpt_storage::StableStorage) backend tying it
+//!   together over the `ckpt-par` worker pool.
+
+pub mod backoff;
+pub mod node;
+pub mod store;
+
+pub use backoff::{Backoff, BackoffPolicy, RetriesExhausted};
+pub use node::{fnv1a64, Admission, Frame, Probe, ReplicaNode, ReplicaSet};
+pub use store::{ReplStats, ReplicaConfig, ReplicatedStore};

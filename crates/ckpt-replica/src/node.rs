@@ -1,0 +1,308 @@
+//! Simulated remote replica nodes.
+//!
+//! A [`ReplicaNode`] is one independent remote store holding versioned,
+//! digest-protected frames; a [`ReplicaSet`] is the N-node group a
+//! [`ReplicatedStore`](crate::ReplicatedStore) fans out over. The set is
+//! shared (`Arc`) so every client handle in a cluster sees the same replica
+//! state — that is what makes checkpoint data survive the loss of the
+//! *writing* node.
+//!
+//! Determinism split: reachability and transient-fault **admission** is
+//! decided sequentially on the calling thread ([`ReplicaNode::admit`]
+//! consumes queued transients in replica order), while the frame writes
+//! themselves are pure data copies safe to fan out on the worker pool —
+//! each node carries its own lock, so workers copying payloads to
+//! different replicas never contend.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// FNV-1a over a byte slice — the frame digest torn writes fail.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// One replica's copy of one object. `digest` is computed over the *full*
+/// payload at commit time; a torn write persists a prefix of `data` under
+/// the full-payload digest, so the mismatch is detectable on every read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    pub version: u64,
+    pub digest: u64,
+    /// Deletion marker: tombstones win version ordering like any other
+    /// frame, so a quorum delete cannot be resurrected by a stale copy.
+    pub tombstone: bool,
+    pub data: Vec<u8>,
+}
+
+impl Frame {
+    /// A frame is intact when its payload hashes to its recorded digest.
+    pub fn intact(&self) -> bool {
+        self.tombstone || fnv1a64(&self.data) == self.digest
+    }
+}
+
+/// Whether a replica will accept the next operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    Ok,
+    /// One queued transient fault was consumed; retrying may succeed.
+    Transient,
+    /// The replica is fail-stopped; it refuses traffic until repaired.
+    Down,
+}
+
+/// What a reachable replica holds under a key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Probe {
+    Missing,
+    /// Frame present but its digest does not match its payload (torn).
+    Torn { version: u64 },
+    /// Intact frame (tombstones included — the caller ranks by version).
+    Valid(Frame),
+}
+
+#[derive(Default)]
+struct NodeState {
+    frames: BTreeMap<String, Frame>,
+    down: bool,
+    /// Deterministic fault-rate knob: the next `k` admitted operations
+    /// fail transiently, in order.
+    pending_transients: u32,
+}
+
+/// One simulated remote replica node.
+pub struct ReplicaNode {
+    index: u32,
+    state: Mutex<NodeState>,
+}
+
+impl ReplicaNode {
+    fn new(index: u32) -> Self {
+        ReplicaNode {
+            index,
+            state: Mutex::new(NodeState::default()),
+        }
+    }
+
+    pub fn index(&self) -> u32 {
+        self.index
+    }
+
+    pub fn is_down(&self) -> bool {
+        self.state.lock().down
+    }
+
+    /// Fail-stop this replica: it refuses all traffic until repaired.
+    /// Frames survive (the medium is stable) — only reachability is lost.
+    pub fn fail(&self) {
+        self.state.lock().down = true;
+    }
+
+    pub fn repair(&self) {
+        self.state.lock().down = false;
+    }
+
+    /// Queue `k` deterministic transient failures for future admissions.
+    pub fn inject_transients(&self, k: u32) {
+        self.state.lock().pending_transients = k;
+    }
+
+    /// Admit (or refuse) one operation. Call this sequentially, in replica
+    /// order, on the planning thread — it consumes queued transients, so
+    /// admission order is part of the deterministic schedule.
+    pub fn admit(&self) -> Admission {
+        let mut s = self.state.lock();
+        if s.down {
+            Admission::Down
+        } else if s.pending_transients > 0 {
+            s.pending_transients -= 1;
+            Admission::Transient
+        } else {
+            Admission::Ok
+        }
+    }
+
+    /// Store an intact frame. Pure data copy — admission already happened.
+    pub fn put(&self, key: &str, version: u64, data: &[u8]) {
+        self.state.lock().frames.insert(
+            key.to_string(),
+            Frame {
+                version,
+                digest: fnv1a64(data),
+                tombstone: false,
+                data: data.to_vec(),
+            },
+        );
+    }
+
+    /// Store a torn frame: the digest of the full payload over only its
+    /// first `keep` bytes — exactly what a crash mid-write leaves behind.
+    pub fn put_torn(&self, key: &str, version: u64, data: &[u8], keep: usize) {
+        self.state.lock().frames.insert(
+            key.to_string(),
+            Frame {
+                version,
+                digest: fnv1a64(data),
+                tombstone: false,
+                data: data[..keep.min(data.len())].to_vec(),
+            },
+        );
+    }
+
+    /// Store a tombstone (quorum delete marker).
+    pub fn put_tombstone(&self, key: &str, version: u64) {
+        self.state.lock().frames.insert(
+            key.to_string(),
+            Frame {
+                version,
+                digest: 0,
+                tombstone: true,
+                data: Vec::new(),
+            },
+        );
+    }
+
+    /// Classify the frame under `key`. Pure read — admission is separate.
+    pub fn probe(&self, key: &str) -> Probe {
+        match self.state.lock().frames.get(key) {
+            None => Probe::Missing,
+            Some(f) if f.intact() => Probe::Valid(f.clone()),
+            Some(f) => Probe::Torn { version: f.version },
+        }
+    }
+
+    /// Remove the frame under `key` outright (adversarial test hook —
+    /// a real delete goes through tombstones).
+    pub fn drop_key(&self, key: &str) {
+        self.state.lock().frames.remove(key);
+    }
+
+    /// Remove the frame under `key` only if it is still at `version` —
+    /// the rollback a failed quorum write issues to its partial acks.
+    pub fn drop_if_version(&self, key: &str, version: u64) {
+        let mut s = self.state.lock();
+        if s.frames.get(key).is_some_and(|f| f.version == version) {
+            s.frames.remove(key);
+        }
+    }
+
+    /// Truncate the frame under `key` to half its payload, leaving the
+    /// digest stale (adversarial torn-copy test hook).
+    pub fn corrupt_key(&self, key: &str) {
+        let mut s = self.state.lock();
+        if let Some(f) = s.frames.get_mut(key) {
+            let keep = f.data.len() / 2;
+            f.data.truncate(keep);
+            if f.tombstone {
+                // A corrupted tombstone reads as a torn data frame.
+                f.tombstone = false;
+            }
+        }
+    }
+
+    /// Keys of non-tombstone frames on this replica (reachability is the
+    /// caller's concern — this is the raw medium contents).
+    pub fn keys(&self) -> Vec<String> {
+        self.state
+            .lock()
+            .frames
+            .iter()
+            .filter(|(_, f)| !f.tombstone)
+            .map(|(k, _)| k.clone())
+            .collect()
+    }
+
+    /// Payload bytes held (tombstones are empty).
+    pub fn used_bytes(&self) -> u64 {
+        self.state
+            .lock()
+            .frames
+            .values()
+            .map(|f| f.data.len() as u64)
+            .sum()
+    }
+}
+
+/// The shared N-node replica group.
+pub struct ReplicaSet {
+    nodes: Vec<Arc<ReplicaNode>>,
+}
+
+impl ReplicaSet {
+    pub fn new(n: usize) -> Arc<Self> {
+        assert!(n >= 1, "a replica set needs at least one node");
+        Arc::new(ReplicaSet {
+            nodes: (0..n as u32).map(|i| Arc::new(ReplicaNode::new(i))).collect(),
+        })
+    }
+
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    pub fn node(&self, i: usize) -> &Arc<ReplicaNode> {
+        &self.nodes[i]
+    }
+
+    pub fn nodes(&self) -> &[Arc<ReplicaNode>] {
+        &self.nodes
+    }
+
+    /// How many replicas are currently reachable.
+    pub fn reachable(&self) -> usize {
+        self.nodes.iter().filter(|n| !n.is_down()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn torn_frames_fail_the_digest() {
+        let set = ReplicaSet::new(3);
+        let n = set.node(0);
+        n.put("k", 1, b"hello world");
+        assert!(matches!(n.probe("k"), Probe::Valid(_)));
+        n.put_torn("k", 2, b"hello world", 5);
+        assert_eq!(n.probe("k"), Probe::Torn { version: 2 });
+    }
+
+    #[test]
+    fn failed_nodes_refuse_admission_but_keep_frames() {
+        let set = ReplicaSet::new(3);
+        let n = set.node(1);
+        n.put("k", 1, b"data");
+        n.fail();
+        assert_eq!(n.admit(), Admission::Down);
+        n.repair();
+        assert_eq!(n.admit(), Admission::Ok);
+        // The original frame survived the outage untouched.
+        match n.probe("k") {
+            Probe::Valid(f) => assert_eq!((f.version, f.data.as_slice()), (1, &b"data"[..])),
+            other => panic!("expected the v1 frame back, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn injected_transients_are_consumed_in_admission_order() {
+        let set = ReplicaSet::new(1);
+        let n = set.node(0);
+        n.inject_transients(2);
+        assert_eq!(n.admit(), Admission::Transient);
+        assert_eq!(n.admit(), Admission::Transient);
+        assert_eq!(n.admit(), Admission::Ok);
+    }
+}

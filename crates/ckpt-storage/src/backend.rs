@@ -71,6 +71,11 @@ pub enum StorageError {
     /// A one-shot failure (dropped message, controller hiccup); retrying
     /// the same operation may succeed.
     Transient,
+    /// A replicated backend could not assemble a quorum: fewer than the
+    /// required number of replicas acknowledged (write) or fewer than
+    /// `N - w + 1` replicas are intact (read). The operation is refused —
+    /// returning stale or partial data here would be silent corruption.
+    QuorumLost { acked: u32, needed: u32 },
 }
 
 impl std::fmt::Display for StorageError {
@@ -82,6 +87,9 @@ impl std::fmt::Display for StorageError {
                 write!(f, "no space: need {need} bytes, {free} free")
             }
             StorageError::Transient => write!(f, "transient storage failure"),
+            StorageError::QuorumLost { acked, needed } => {
+                write!(f, "quorum lost: {acked} of {needed} required replicas")
+            }
         }
     }
 }
@@ -95,6 +103,25 @@ pub struct StoreReceipt {
     pub bytes: u64,
     /// Virtual time the operation took (the caller charges it).
     pub time_ns: u64,
+}
+
+/// Where a replicated commit landed: which replicas acknowledged, under
+/// what quorum configuration, and the digest/version that identify the
+/// committed frame. Non-replicated backends never produce one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicaManifest {
+    pub key: String,
+    /// Monotonic per-key commit version (newest wins at read-quorum time).
+    pub version: u64,
+    /// FNV-1a digest of the committed payload (torn-frame detection).
+    pub digest: u64,
+    pub bytes: u64,
+    /// Replica indices that acknowledged the write, ascending.
+    pub acked: Vec<u32>,
+    /// Replication factor N.
+    pub n: u32,
+    /// Write quorum w (> N/2).
+    pub w: u32,
 }
 
 /// A stable-storage backend.
@@ -130,6 +157,12 @@ pub trait StableStorage: Send {
 
     /// Planned power-down of the owning node.
     fn on_power_down(&mut self);
+
+    /// The replica manifest recorded for `key`'s last committed write, if
+    /// this backend replicates. Single-copy backends return `None`.
+    fn replica_manifest(&self, _key: &str) -> Option<ReplicaManifest> {
+        None
+    }
 }
 
 /// Canonical object key for a checkpoint: `job/pid/seq`.

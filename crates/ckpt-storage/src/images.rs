@@ -196,7 +196,14 @@ pub fn load_latest_valid_chain(
     for key in keys.iter().rev() {
         let (bytes, t) = match storage.load(key, cost) {
             Ok(v) => v,
-            Err(e @ (StorageError::Unavailable | StorageError::Transient)) => {
+            Err(
+                e @ (StorageError::Unavailable
+                | StorageError::Transient
+                | StorageError::QuorumLost { .. }),
+            ) => {
+                // Quorum loss joins the abort set: falling back to an older
+                // chain while a newer committed one may live entirely on the
+                // lost replicas would be a silently wrong answer.
                 return Err(e.into());
             }
             Err(e) => {

@@ -15,7 +15,9 @@ pub mod images;
 pub mod inject;
 pub mod media;
 
-pub use backend::{image_key, StableStorage, StorageClass, StorageError, StoreReceipt};
+pub use backend::{
+    image_key, ReplicaManifest, StableStorage, StorageClass, StorageError, StoreReceipt,
+};
 pub use images::{
     load_chain_at, load_image, load_latest_chain, load_latest_valid_chain, prune_before, store_image,
     store_image_bytes, ChainLoad, ImageStoreError,

@@ -264,6 +264,24 @@ pub struct TraceReport {
     /// observability, excluded from `events_recorded` for the same reason
     /// as `soft_tlb_flushes`.
     pub par_encode: ParEncodeAgg,
+    /// Quorum-replication protocol activity (commits, transient retries,
+    /// read-repairs, quorum losses). Excluded from `events_recorded` for
+    /// the same reason as `soft_tlb_flushes`: the replicated backend must
+    /// not perturb any pre-existing pinned totals.
+    pub replication: ReplicationAgg,
+}
+
+/// Aggregated quorum-replication counters for the replicated store.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplicationAgg {
+    /// Writes that reached write-quorum and committed.
+    pub commits: u64,
+    /// Per-replica transient faults absorbed by backoff-retry.
+    pub retries: u64,
+    /// Stale/torn/missing replica frames rewritten during quorum reads.
+    pub repairs: u64,
+    /// Operations refused with a typed `QuorumLost` error.
+    pub quorum_losses: u64,
 }
 
 /// Aggregated worker-pool counters for parallel page encoding.
@@ -461,6 +479,21 @@ impl TraceHandle {
         d.report.par_encode.merge_stalls += merge_stalls;
     }
 
+    /// Accumulate quorum-replication counter deltas (plain integers so
+    /// simos stays independent of the replication crate). Does not bump
+    /// `events_recorded` — see [`TraceReport::replication`].
+    #[inline]
+    pub fn replication(&self, commits: u64, retries: u64, repairs: u64, quorum_losses: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut d = self.0.data.lock().unwrap();
+        d.report.replication.commits += commits;
+        d.report.replication.retries += retries;
+        d.report.replication.repairs += repairs;
+        d.report.replication.quorum_losses += quorum_losses;
+    }
+
     /// Emit a cluster-level event.
     #[inline]
     pub fn cluster(&self, event: ClusterEvent, at_ns: u64) {
@@ -570,6 +603,21 @@ mod tests {
         assert_eq!(r.par_encode.tasks, 192);
         assert_eq!(r.par_encode.steals, 3);
         assert_eq!(r.par_encode.merge_stalls, 3);
+        // Must not perturb kernel counters or the recorded-event total.
+        assert_eq!(r.events_recorded, 0);
+        assert!(r.kernel.is_empty());
+    }
+
+    #[test]
+    fn replication_counters_do_not_disturb_event_totals() {
+        let t = TraceHandle::recording();
+        t.replication(2, 1, 0, 0);
+        t.replication(1, 0, 3, 1);
+        let r = t.report();
+        assert_eq!(r.replication.commits, 3);
+        assert_eq!(r.replication.retries, 1);
+        assert_eq!(r.replication.repairs, 3);
+        assert_eq!(r.replication.quorum_losses, 1);
         // Must not perturb kernel counters or the recorded-event total.
         assert_eq!(r.events_recorded, 0);
         assert!(r.kernel.is_empty());

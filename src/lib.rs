@@ -15,6 +15,8 @@
 //!   ordered merge behind the parallel checkpoint pipeline;
 //! * [`ckpt_storage`] — stable-storage backends with availability
 //!   semantics;
+//! * [`ckpt_replica`] — N-way quorum-replicated stable storage with
+//!   retry/backoff, read-repair, and typed `QuorumLost` degradation;
 //! * [`ckpt_core`] — trackers, the seven mechanism families, pod
 //!   virtualization, policies, restart, and the autonomic daemon;
 //! * [`ckpt_cluster`] — the cluster/fault-injection simulator and
@@ -35,6 +37,7 @@ pub use ckpt_cluster as cluster;
 pub use ckpt_core as ckpt;
 pub use ckpt_image as image;
 pub use ckpt_par as par;
+pub use ckpt_replica as replica;
 pub use ckpt_storage as storage;
 pub use ckpt_survey as survey;
 pub use simos;

@@ -9,7 +9,7 @@
 
 use ckpt_core::crashpoint::{
     all_configs, run_config, CellOutcome, MatrixReport, BACKENDS, HIBERNATE_BACKENDS,
-    TRAIT_MECHANISMS,
+    REPLICATED_BACKENDS, REPLICATION_MECH, TRAIT_MECHANISMS,
 };
 
 #[test]
@@ -65,6 +65,41 @@ fn full_crash_matrix_has_no_violations_and_no_panics() {
                 .iter()
                 .any(|c| c.mechanism == "hibernate" && c.backend == backend),
             "no cells for hibernate/{backend}"
+        );
+    }
+    // Replication tier: both quorum geometries ran against every fault
+    // kind, and the per-replica fault sites were actually swept — not just
+    // the client-side storage decorator's.
+    for backend in REPLICATED_BACKENDS {
+        assert!(
+            report
+                .cells
+                .iter()
+                .any(|c| c.mechanism == REPLICATION_MECH && c.backend == backend),
+            "no cells for {REPLICATION_MECH}/{backend}"
+        );
+        for fault in ["fail-stop", "transient", "torn-write"] {
+            assert!(
+                report
+                    .cells
+                    .iter()
+                    .any(|c| c.backend == backend && c.fault == fault),
+            "fault kind {fault} missing from the {backend} tier"
+            );
+        }
+        assert!(
+            report
+                .cells
+                .iter()
+                .any(|c| c.backend == backend && c.site.starts_with("replica/r")),
+            "per-replica fault sites never armed on {backend}"
+        );
+        assert!(
+            report
+                .cells
+                .iter()
+                .any(|c| c.backend == backend && c.site.starts_with("storage/replicated")),
+            "client-side fault sites never armed on {backend}"
         );
     }
     for fault in ["fail-stop", "transient", "torn-write"] {

@@ -161,6 +161,63 @@ fn assert_capture_width_invariant(
     }
 }
 
+/// Replicated commits are width-invariant: the quorum protocol resolves
+/// admission, faults, and backoff sequentially on the caller, so only
+/// pure payload copies ride the pool — at every width the manifests, the
+/// receipts, and the bytes on every replica must be identical.
+#[test]
+fn replicated_commits_are_width_invariant() {
+    use ckpt_restart::replica::{Probe, ReplicaConfig, ReplicaSet, ReplicatedStore};
+    use ckpt_restart::storage::{ReplicaManifest, StableStorage};
+
+    let cost = CostModel::circa_2005();
+    for case in 0..12u64 {
+        let commit_all = |width: usize| -> (Vec<ReplicaManifest>, Vec<u64>, Vec<u64>) {
+            let mut g = Gen::new(0x5E7 + case);
+            let (n, w) = if case % 2 == 0 { (3, 2) } else { (5, 3) };
+            let mut store = ReplicatedStore::new(ReplicaSet::new(n), ReplicaConfig::new(n, w))
+                .with_pool(Arc::new(Pool::new(width)));
+            // A few commits, some through queued transient rejections, one
+            // overwrite of an existing key.
+            let mut manifests = Vec::new();
+            let mut receipts = Vec::new();
+            for i in 0..4u64 {
+                let key = format!("w-inv/k{}", i % 3);
+                let len = 1024 + g.range(0, 8192) as usize;
+                let data = g.bytes(len);
+                if g.flag() {
+                    store.replica_set().node(g.range(0, n as u64) as usize)
+                        .inject_transients(1 + g.range(0, 2) as u32);
+                }
+                let r = store.store(&key, &data, &cost).unwrap();
+                receipts.push(r.time_ns);
+                manifests.push(store.replica_manifest(&key).unwrap());
+            }
+            // Digest of every frame on every replica, in replica order.
+            let frames: Vec<u64> = store
+                .replica_set()
+                .nodes()
+                .iter()
+                .flat_map(|node| {
+                    node.keys().into_iter().map(|k| match node.probe(&k) {
+                        Probe::Valid(f) => fnv1a64(&f.data) ^ f.version,
+                        other => panic!("unexpected frame state: {other:?}"),
+                    })
+                })
+                .collect();
+            (manifests, receipts, frames)
+        };
+        let baseline = commit_all(1);
+        for w in [4usize, 8] {
+            assert_eq!(
+                commit_all(w),
+                baseline,
+                "case {case} width {w}: replicated commit diverged"
+            );
+        }
+    }
+}
+
 #[test]
 fn pooled_capture_matches_serial_on_random_address_spaces() {
     for case in 0..12u64 {
