@@ -27,6 +27,23 @@ echo '== replication gate: quorum properties + pinned report =='
 cargo test -q -p ckpt-restart --test replication_properties
 cargo test -q -p ckpt-bench --test golden_c12
 
+echo '== dedup gate: chunk-store properties + pinned report + ratio floor =='
+# The content-addressed dedup tier gets its own named gate: random image
+# histories must round-trip byte-identically at every pool width and the
+# refcounted GC must never free a live-referenced chunk; the `report
+# dedup` output is FNV-pinned by the golden test; and the co-scheduled
+# identical-guest sweep must keep deduplicating across processes — the
+# floor catches a chunker or digest regression that silently degrades
+# sharing without corrupting bytes.
+cargo test -q -p ckpt-restart --test dedup_properties
+cargo test -q -p ckpt-bench --test golden_c13
+DEDUP_RATIO=$(./target/release/report c13 | awk -F': ' '/cross-process dedup ratio at n=8/ {print $2}' | tr -d 'x')
+echo "cross-process dedup ratio at n=8: ${DEDUP_RATIO}x (floor 2x)"
+awk -v r="$DEDUP_RATIO" 'BEGIN { exit !(r > 2.0) }' || {
+    echo "FAIL: cross-process dedup ratio ${DEDUP_RATIO}x <= 2x — chunking no longer shares identical guests"
+    exit 1
+}
+
 echo '== cargo clippy -- -D warnings =='
 cargo clippy --workspace --all-targets -- -D warnings
 
@@ -72,6 +89,7 @@ awk -v w="$TOTAL_WALL" -v c="$TOTAL_CEILING" 'BEGIN { exit !(w < c) }' || {
             c10_sensitivity)             echo 0.445 ;;
             trace)                       echo 0.584 ;;
             c12_replication)             echo 0.054 ;;
+            c13_dedup)                   echo 0.124 ;;
             *)                           echo 0.000 ;;
         esac
     }

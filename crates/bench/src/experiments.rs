@@ -1192,7 +1192,10 @@ fn trace_breakdown_for_all() -> String {
 /// the `report timings` budget. C11 stays out: the full crash matrix runs
 /// for tens of seconds and has its own CI gate.
 #[allow(clippy::type_complexity)]
-pub const TIMED_STANDALONE: &[(&str, fn() -> String)] = &[("c12_replication", c12_replication)];
+pub const TIMED_STANDALONE: &[(&str, fn() -> String)] = &[
+    ("c12_replication", c12_replication),
+    ("c13_dedup", c13_dedup),
+];
 
 // ---------------------------------------------------------------------
 // C11 — the crash matrix
@@ -1395,6 +1398,173 @@ pub fn c12_replication() -> String {
          {latency}\n\
          transient faults absorbed by the jittered retry schedule (N=3, w=2)\n\
          {retries}"
+    )
+}
+
+// ---------------------------------------------------------------------
+// C13 — content-addressed dedup + delta storage
+// ---------------------------------------------------------------------
+
+/// C13: what the content-addressed store buys. Three sweeps over
+/// [`ckpt_cas::DedupStore`]: (a) dedup ratio per guest app as a lineage of
+/// one full plus incremental checkpoints lands in one store — the
+/// XOR-delta path makes successive versions nearly free; (b) co-scheduled
+/// identical guests sharing one chunk store — cross-process dedup makes
+/// the n-th copy of an image cost almost nothing; (c) commit bytes pushed
+/// to a (3,2) replica quorum as the guest count grows, raw image path vs
+/// dedup path — replicated commit traffic scales with novelty, not image
+/// size.
+///
+/// Standalone like C11/C12 (`report c13` / `report dedup`); not part of
+/// `report all`.
+pub fn c13_dedup() -> String {
+    use ckpt_cas::DedupStore;
+    use ckpt_core::{capture_image, CaptureOptions};
+    use ckpt_replica::{ReplicaConfig, ReplicaSet, ReplicatedStore};
+    use ckpt_storage::ImageKey;
+
+    let cost = CostModel::circa_2005();
+
+    // A lineage of encoded checkpoint images: one guest captured after
+    // each burst of steps. Fully deterministic, so two identical guests
+    // produce byte-identical lineages. Captured uncompressed: the chunk
+    // store replaces generic page compression, and stable page offsets
+    // are what let the XOR delta line up successive versions.
+    let lineage = |kind: NativeKind, count: u64| -> Vec<Vec<u8>> {
+        let mut k = fresh_kernel();
+        let mut p = AppParams::small();
+        p.mem_bytes = 128 * 1024;
+        p.total_steps = u64::MAX;
+        let pid = k.spawn_native(kind, p).expect("spawn");
+        (0..count)
+            .map(|seq| {
+                run_steps(&mut k, pid, 8);
+                let mut opts = CaptureOptions::full("c13", seq);
+                opts.compress = false;
+                let img = capture_image(&mut k, pid, &opts).expect("capture");
+                ckpt_image::encode(&img)
+            })
+            .collect()
+    };
+
+    // (a) Dedup ratio across the guest app zoo: each app's lineage (one
+    // full + three incrementals) lands in its own store.
+    let mut arows = Vec::new();
+    for kind in NativeKind::ALL {
+        let versions = lineage(kind, 4);
+        let mut store =
+            DedupStore::new(Box::new(LocalDisk::new(1 << 30))).with_pool(ckpt_par::global().clone());
+        let stats = store.stats_handle();
+        for (seq, v) in versions.iter().enumerate() {
+            let key = ImageKey::new("c13/app", 1, seq as u64).to_string();
+            store.store(&key, v, &cost).unwrap();
+        }
+        let s = stats.snapshot();
+        arows.push(vec![
+            format!("{kind:?}"),
+            versions.len().to_string(),
+            bytes(s.logical_bytes),
+            bytes(s.physical_bytes),
+            format!("{:.2}x", s.dedup_ratio()),
+            s.delta_objects.to_string(),
+        ]);
+    }
+    let zoo = table(
+        &["app", "versions", "logical", "physical", "dedup ratio", "delta commits"],
+        &arows,
+    );
+
+    // (b) Co-scheduled identical guests: n guests, one shared chunk store,
+    // each guest checkpointing under its own job key. Determinism makes
+    // the images byte-identical, so the chunk store holds one physical
+    // copy no matter how many guests commit.
+    let mut brows = Vec::new();
+    let mut cross_ratio_at_8 = 0.0;
+    for n in [1usize, 2, 4, 8] {
+        let mut store =
+            DedupStore::new(Box::new(LocalDisk::new(1 << 30))).with_pool(ckpt_par::global().clone());
+        let stats = store.stats_handle();
+        let mut identical = true;
+        let mut first: Option<Vec<u8>> = None;
+        for g in 0..n {
+            // Each guest runs in its own kernel (its own node) — the
+            // store is the only shared component.
+            let img = lineage(NativeKind::SparseRandom, 1).remove(0);
+            match &first {
+                None => first = Some(img.clone()),
+                Some(f) => identical &= *f == img,
+            }
+            let key = ImageKey::new(format!("c13/g{g}"), 1, 0).to_string();
+            store.store(&key, &img, &cost).unwrap();
+        }
+        let s = stats.snapshot();
+        if n == 8 {
+            cross_ratio_at_8 = s.dedup_ratio();
+        }
+        brows.push(vec![
+            n.to_string(),
+            identical.to_string(),
+            bytes(s.logical_bytes),
+            bytes(s.physical_bytes),
+            format!("{:.2}x", s.dedup_ratio()),
+        ]);
+    }
+    let coscheduled = table(
+        &["guests", "images identical", "logical", "physical", "dedup ratio"],
+        &brows,
+    );
+
+    // (c) Replicated commit bytes vs guest count: every guest commits a
+    // three-version lineage to a (3,2) quorum. The raw path ships every
+    // byte of every image to every replica; the dedup path ships only
+    // chunks the quorum has not already acked.
+    let versions = lineage(NativeKind::SparseRandom, 3);
+    let mut crows = Vec::new();
+    let mut reduction_at_8 = 0.0;
+    for n in [1usize, 2, 4, 8] {
+        let raw_set = ReplicaSet::new(3);
+        let mut raw = ReplicatedStore::new(raw_set.clone(), ReplicaConfig::new(3, 2));
+        let dedup_set = ReplicaSet::new(3);
+        let mut dedup = DedupStore::new(Box::new(ReplicatedStore::new(
+            dedup_set.clone(),
+            ReplicaConfig::new(3, 2),
+        )))
+        .with_pool(ckpt_par::global().clone());
+        for g in 0..n {
+            for (seq, v) in versions.iter().enumerate() {
+                let key = ImageKey::new(format!("c13/g{g}"), 1, seq as u64).to_string();
+                raw.store(&key, v, &cost).unwrap();
+                dedup.store(&key, v, &cost).unwrap();
+            }
+        }
+        let raw_bytes = raw_set.bytes_ingested();
+        let dedup_bytes = dedup_set.bytes_ingested();
+        let reduction = raw_bytes as f64 / dedup_bytes.max(1) as f64;
+        if n == 8 {
+            reduction_at_8 = reduction;
+        }
+        crows.push(vec![
+            n.to_string(),
+            bytes(raw_bytes),
+            bytes(dedup_bytes),
+            format!("{reduction:.2}x"),
+        ]);
+    }
+    let replication = table(
+        &["guests", "raw commit bytes", "dedup commit bytes", "reduction"],
+        &crows,
+    );
+
+    format!(
+        "C13 — content-addressed dedup: commit bytes scale with novelty, not image size\n\
+         dedup ratio per guest app (1 full + 3 incremental checkpoints, one store each)\n\
+         {zoo}\n\
+         co-scheduled identical guests sharing one chunk store\n\
+         {coscheduled}\n\
+         commit bytes pushed to a (3,2) replica quorum, raw images vs dedup\n\
+         {replication}\n\
+         cross-process dedup ratio at n=8: {cross_ratio_at_8:.2}x\n\
+         replication commit reduction at n=8: {reduction_at_8:.2}x"
     )
 }
 

@@ -1,0 +1,75 @@
+//! Golden regression pin for `report c13`, the content-addressed dedup
+//! experiment.
+//!
+//! Everything in the report is deterministic by construction: the guest
+//! apps are seeded, capture is byte-stable, chunk boundaries come from a
+//! const gear table, and the pool's ordered merge keeps digests and
+//! receipts byte-identical at any worker count — so the full output pins
+//! byte-for-byte. A moved hash means the chunker, delta codec, manifest
+//! format, or commit accounting changed observable behavior and must be
+//! reviewed, not waved through.
+//!
+//! If an *intentional* change lands, regenerate: hash
+//! `./target/release/report c13`'s stdout with the FNV-1a 64 below and
+//! update both constants in the same commit.
+
+const GOLDEN_FNV1A64: u64 = 0xcac3_ef95_d26f_3334;
+const GOLDEN_BYTES: usize = 2154;
+
+fn fnv1a64(data: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+#[test]
+fn report_c13_output_matches_pinned_baseline() {
+    // Exactly what the report binary prints: c13_dedup() + "\n".
+    let out = format!("{}\n", ckpt_bench::c13_dedup());
+    assert_eq!(
+        out.len(),
+        GOLDEN_BYTES,
+        "report c13 output length changed — dedup report no longer baseline"
+    );
+    assert_eq!(
+        fnv1a64(out.as_bytes()),
+        GOLDEN_FNV1A64,
+        "report c13 output bytes changed — dedup report no longer baseline"
+    );
+}
+
+#[test]
+fn c13_cross_process_dedup_clears_the_floor() {
+    let out = ckpt_bench::c13_dedup();
+    let ratio: f64 = out
+        .lines()
+        .find(|l| l.starts_with("cross-process dedup ratio at n=8:"))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.trim_end_matches('x').parse().ok())
+        .expect("summary ratio line present");
+    assert!(
+        ratio > 2.0,
+        "co-scheduled identical guests must dedup beyond 2x, got {ratio}"
+    );
+}
+
+#[test]
+fn c13_replicated_commit_bytes_shrink_vs_raw() {
+    // Acceptance: replicated commit traffic on the incremental workloads
+    // is reduced vs the raw image path, and keeps shrinking relatively as
+    // identical guests are added.
+    let out = ckpt_bench::c13_dedup();
+    let reduction: f64 = out
+        .lines()
+        .find(|l| l.starts_with("replication commit reduction at n=8:"))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.trim_end_matches('x').parse().ok())
+        .expect("summary reduction line present");
+    assert!(
+        reduction > 2.0,
+        "dedup must cut replicated commit bytes by >2x at n=8, got {reduction}"
+    );
+}

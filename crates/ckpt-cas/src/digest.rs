@@ -1,0 +1,26 @@
+//! Content digests: FNV-1a 64-bit, the same hash family the replica layer
+//! uses for torn-frame detection. Not cryptographic — the threat model is
+//! accidental corruption and dedup identity inside one trusted store, and
+//! a 64-bit digest over at most a few thousand live chunks keeps the
+//! accidental-collision probability negligible.
+
+/// FNV-1a over `data` (64-bit).
+pub fn fnv1a64(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

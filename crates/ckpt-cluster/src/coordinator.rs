@@ -16,7 +16,7 @@ use crate::cluster::Cluster;
 use crate::mpi::{MpiJob, RankRef};
 use ckpt_core::capture::{capture_image, restore_image, CaptureOptions, RestoreOptions, RestorePid};
 use ckpt_core::tracker::{Tracker, TrackerKind};
-use ckpt_storage::{image_key, load_chain_at, store_image_bytes};
+use ckpt_storage::{load_chain_at, store_image_bytes, ImageKey};
 use simos::types::{SimError, SimResult};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -235,7 +235,7 @@ impl Coordinator {
         for r in staged {
             let remote = cluster.nodes[r.node.0 as usize].remote.clone();
             let mut s = remote.lock();
-            let _ = s.delete(&image_key(&self.job_key, r.rank, seq));
+            let _ = s.delete(&ImageKey::new(&self.job_key, r.rank, seq).to_string());
         }
     }
 

@@ -30,6 +30,7 @@ use crate::mechanism::user_level::{Trigger, UserLevelMechanism};
 use crate::mechanism::Mechanism;
 use crate::tracker::TrackerKind;
 use crate::{shared_storage, RestorePid, SharedStorage};
+use ckpt_cas::{ChunkParams, DedupStore};
 use ckpt_replica::{ReplicaConfig, ReplicaSet, ReplicatedStore};
 use ckpt_storage::{
     load_latest_valid_chain, FaultInjectStore, LocalDisk, NvramStore, RamStore, RemoteServer,
@@ -80,6 +81,17 @@ pub const REPLICATED_BACKENDS: [&str; 2] = ["replicated(3,2)", "replicated(5,3)"
 /// The mechanism family driven over the replicated backends.
 pub const REPLICATION_MECH: &str = "syscall";
 
+/// Dedup-layered backends forming the dedup tier: the content-addressed
+/// chunk store's own fault sites (per-chunk stores/loads, the
+/// chunks-durable-but-manifest-not `cas/commit` instant) swept over both a
+/// single-copy and a quorum-replicated backing store. A torn manifest or
+/// missing chunk must always end in typed detection or a bit-exact
+/// fallback restart — never silent corruption.
+pub const DEDUP_BACKENDS: [&str; 2] = ["dedup(local-disk)", "dedup(replicated(3,2))"];
+
+/// The mechanism family driven over the dedup backends.
+pub const DEDUP_MECH: &str = "syscall";
+
 /// Parse `"replicated(N,w)"` into its quorum parameters.
 fn replicated_params(which: &str) -> Option<(usize, usize)> {
     match which {
@@ -87,6 +99,11 @@ fn replicated_params(which: &str) -> Option<(usize, usize)> {
         "replicated(5,3)" => Some((5, 3)),
         _ => None,
     }
+}
+
+/// Parse `"dedup(inner)"` into the backing-store name.
+fn dedup_inner(which: &str) -> Option<&str> {
+    which.strip_prefix("dedup(")?.strip_suffix(')')
 }
 
 /// One (mechanism × backend) column of the matrix.
@@ -113,6 +130,12 @@ pub fn all_configs() -> Vec<MatrixConfig> {
     for backend in REPLICATED_BACKENDS {
         v.push(MatrixConfig {
             mechanism: REPLICATION_MECH,
+            backend,
+        });
+    }
+    for backend in DEDUP_BACKENDS {
+        v.push(MatrixConfig {
+            mechanism: DEDUP_MECH,
             backend,
         });
     }
@@ -339,6 +362,25 @@ fn raw_backend(which: &str) -> Box<dyn StableStorage> {
 }
 
 fn injected_storage(which: &str, faults: &FaultHandle) -> SharedStorage {
+    if let Some(inner) = dedup_inner(which) {
+        // The dedup layer sits above a fault-injected backing store, so
+        // every per-chunk store/load on the medium is a site — plus the
+        // layer's own `cas/commit` site between the chunks landing and
+        // the manifest write. Coarse chunking bounds the per-image chunk
+        // count, keeping the added matrix columns small.
+        let backing: Box<dyn StableStorage> = if let Some((n, w)) = replicated_params(inner) {
+            let store = ReplicatedStore::new(ReplicaSet::new(n), ReplicaConfig::new(n, w))
+                .with_faults(faults.clone());
+            Box::new(FaultInjectStore::new(Box::new(store), faults.clone()))
+        } else {
+            Box::new(FaultInjectStore::new(raw_backend(inner), faults.clone()))
+        };
+        return shared_storage(
+            DedupStore::new(backing)
+                .with_params(ChunkParams::COARSE)
+                .with_faults(faults.clone()),
+        );
+    }
     if let Some((n, w)) = replicated_params(which) {
         // The replicated store consults the shared handle itself at its
         // per-replica `replica/r<i>/{store,load}` sites; the outer
@@ -787,6 +829,77 @@ mod tests {
             }
             other => panic!("expected fallback restart, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn dedup_clean_scenario_restarts_bit_exact() {
+        // The dedup tier with no fault armed must restart bit-exact for
+        // both backings (plain disk and the replicated quorum).
+        for backend in DEDUP_BACKENDS {
+            let faults = FaultHandle::disabled();
+            let end = run_mech_scenario(DEDUP_MECH, backend, &faults);
+            assert!(end.ckpt_error.is_none(), "{backend}: {:?}", end.ckpt_error);
+            {
+                let mut s = end.storage.lock();
+                s.on_node_failure();
+                s.on_node_repair();
+            }
+            let mut mech = end.mech;
+            let mut k2 = Kernel::new(CostModel::circa_2005());
+            let r = mech.restart(&mut k2, RestorePid::Fresh).unwrap();
+            let step = verify_restored(&k2, r.pid, &app_params()).unwrap();
+            assert_eq!(step, r.work_done);
+        }
+    }
+
+    #[test]
+    fn dedup_recording_enumerates_cas_commit_sites() {
+        let sites = record_sites(MatrixConfig {
+            mechanism: DEDUP_MECH,
+            backend: "dedup(local-disk)",
+        });
+        let names: Vec<&str> = sites.iter().map(|s| s.name.as_str()).collect();
+        assert!(
+            names.iter().any(|n| n.contains("cas/commit")),
+            "manifest-commit site must be recorded: {names:?}"
+        );
+        // Inner-backend store sites still show through the decorator.
+        assert!(
+            names.iter().any(|n| n.contains("storage/local-disk/store")),
+            "{names:?}"
+        );
+    }
+
+    #[test]
+    fn dedup_torn_cas_commit_never_silently_corrupts() {
+        // A torn manifest write must surface as typed detection or a
+        // bit-exact restart from an older chain — never a Violation.
+        let cfg = MatrixConfig {
+            mechanism: DEDUP_MECH,
+            backend: "dedup(local-disk)",
+        };
+        let sites = record_sites(cfg);
+        let commits: Vec<_> = sites
+            .iter()
+            .filter(|s| s.name.contains("cas/commit"))
+            .collect();
+        assert!(!commits.is_empty());
+        let mut saw_restart = false;
+        for site in commits {
+            let torn = Fault::TornWrite {
+                keep_bytes: (site.bytes / 2).max(1),
+            };
+            let out = run_mech_cell(cfg, &site.name, torn);
+            match out {
+                CellOutcome::Restarted { .. } => saw_restart = true,
+                CellOutcome::Detected { .. } => {}
+                other => panic!("{}: silent corruption path: {other:?}", site.name),
+            }
+        }
+        assert!(
+            saw_restart,
+            "at least one torn commit must fall back to an older chain"
+        );
     }
 
     #[test]

@@ -11,7 +11,7 @@
 
 use crate::capture::{capture_image, restore_image, CaptureOptions, RestoreOptions, RestorePid};
 use crate::SharedStorage;
-use ckpt_storage::{image_key, store_image};
+use ckpt_storage::{store_image, ImageKey};
 use simos::trace::{Phase, StorageOp};
 use simos::types::{Pid, SimError, SimResult};
 use simos::Kernel;
@@ -146,7 +146,7 @@ impl SoftwareSuspend {
             k.faultpoint(&self.job, "restore")?;
             let (img, t) = {
                 let storage = self.storage.lock();
-                let key = image_key(&self.job, pid, self.seq);
+                let key = ImageKey::new(&self.job, pid, self.seq).to_string();
                 let (bytes, t) = storage
                     .load(&key, &k.cost)
                     .map_err(|e| SimError::Usage(format!("resume load failed: {e}")))?;

@@ -129,6 +129,9 @@ pub struct KernelCkptEngine {
     /// Replica manifests recorded for the current chain, one per stored
     /// segment, in store order. Empty unless the backend replicates.
     chain_manifests: Vec<ckpt_storage::ReplicaManifest>,
+    /// Counter handle of the dedup layer, when built with
+    /// [`KernelCkptEngineBuilder::dedup`].
+    cas_stats: Option<ckpt_cas::CasStatsHandle>,
     seq: u64,
     last_full_seq: u64,
     target_pid: Option<Pid>,
@@ -154,6 +157,7 @@ pub struct KernelCkptEngine {
 #[must_use = "the builder does nothing until .build() is called"]
 pub struct KernelCkptEngineBuilder {
     engine: KernelCkptEngine,
+    dedup: Option<ckpt_cas::ChunkParams>,
 }
 
 impl KernelCkptEngineBuilder {
@@ -227,7 +231,32 @@ impl KernelCkptEngineBuilder {
         self
     }
 
-    pub fn build(self) -> KernelCkptEngine {
+    /// Layer content-addressed dedup + delta
+    /// ([`ckpt_cas::DedupStore`]) over the engine's storage, with default
+    /// chunking parameters. Applied at [`Self::build`] time, over
+    /// whatever backend is then configured — so it composes with
+    /// [`Self::replicated`] in either call order, and on a replicated
+    /// backend each commit ships only the chunks the quorum has not
+    /// already acknowledged.
+    pub fn dedup(self) -> Self {
+        self.dedup_params(ckpt_cas::ChunkParams::DEFAULT)
+    }
+
+    /// Like [`Self::dedup`], with explicit [`ckpt_cas::ChunkParams`].
+    pub fn dedup_params(mut self, params: ckpt_cas::ChunkParams) -> Self {
+        self.dedup = Some(params);
+        self
+    }
+
+    pub fn build(mut self) -> KernelCkptEngine {
+        if let Some(params) = self.dedup {
+            let inner = crate::SharedBackend(self.engine.storage.clone());
+            let store = ckpt_cas::DedupStore::new(Box::new(inner))
+                .with_params(params)
+                .with_pool(self.engine.encode_pool.clone());
+            self.engine.cas_stats = Some(store.stats_handle());
+            self.engine.storage = crate::shared_storage(store);
+        }
         self.engine
     }
 }
@@ -253,10 +282,12 @@ impl KernelCkptEngine {
                 node: 0,
                 encode_pool: ckpt_par::global().clone(),
                 chain_manifests: Vec::new(),
+                cas_stats: None,
                 seq: 0,
                 last_full_seq: 0,
                 target_pid: None,
             },
+            dedup: None,
         }
     }
 
@@ -273,6 +304,12 @@ impl KernelCkptEngine {
 
     pub fn seq(&self) -> u64 {
         self.seq
+    }
+
+    /// Dedup-layer counters, when this engine was built with
+    /// [`KernelCkptEngineBuilder::dedup`]; `None` otherwise.
+    pub fn cas_stats(&self) -> Option<ckpt_cas::CasStats> {
+        self.cas_stats.as_ref().map(|h| h.snapshot())
     }
 
     pub fn mechanism_name(&self) -> &str {
@@ -386,11 +423,9 @@ impl KernelCkptEngine {
             storage_ns = receipt.time_ns;
             let label = storage.label();
             // Chain metadata: where (and how widely) this segment landed.
-            if let Some(m) = storage.replica_manifest(&ckpt_storage::image_key(
-                &self.job,
-                img.header.pid,
-                img.header.seq,
-            )) {
+            if let Some(m) = storage.replica_manifest(
+                &ckpt_storage::ImageKey::new(&self.job, img.header.pid, img.header.seq).to_string(),
+            ) {
                 self.chain_manifests.push(m);
             }
             drop(storage);
@@ -430,7 +465,7 @@ impl KernelCkptEngine {
                 drop(storage);
                 // Keys sort by zero-padded seq, so this drops exactly the
                 // manifests of the pruned segments.
-                let cut = ckpt_storage::image_key(&self.job, pid.0, next_seq);
+                let cut = ckpt_storage::ImageKey::new(&self.job, pid.0, next_seq).to_string();
                 self.chain_manifests.retain(|m| m.key >= cut);
                 k.trace.storage(StorageOp::Delete, &label, 0, 0);
                 k.trace.phase(

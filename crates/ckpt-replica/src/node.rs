@@ -72,6 +72,10 @@ pub enum Probe {
 #[derive(Default)]
 struct NodeState {
     frames: BTreeMap<String, Frame>,
+    /// Monotonic payload bytes this replica has accepted over its life —
+    /// the interconnect traffic a commit actually costs, which is what
+    /// dedup is supposed to shrink.
+    bytes_ingested: u64,
     down: bool,
     /// Deterministic fault-rate knob: the next `k` admitted operations
     /// fail transiently, in order.
@@ -132,7 +136,9 @@ impl ReplicaNode {
 
     /// Store an intact frame. Pure data copy — admission already happened.
     pub fn put(&self, key: &str, version: u64, data: &[u8]) {
-        self.state.lock().frames.insert(
+        let mut s = self.state.lock();
+        s.bytes_ingested += data.len() as u64;
+        s.frames.insert(
             key.to_string(),
             Frame {
                 version,
@@ -146,7 +152,9 @@ impl ReplicaNode {
     /// Store a torn frame: the digest of the full payload over only its
     /// first `keep` bytes — exactly what a crash mid-write leaves behind.
     pub fn put_torn(&self, key: &str, version: u64, data: &[u8], keep: usize) {
-        self.state.lock().frames.insert(
+        let mut s = self.state.lock();
+        s.bytes_ingested += keep.min(data.len()) as u64;
+        s.frames.insert(
             key.to_string(),
             Frame {
                 version,
@@ -220,6 +228,15 @@ impl ReplicaNode {
             .collect()
     }
 
+    /// Monotonic payload bytes this replica has accepted over its life
+    /// (torn writes count only what landed). Unlike [`used_bytes`], this
+    /// never decreases — it is the commit traffic, not the occupancy.
+    ///
+    /// [`used_bytes`]: ReplicaNode::used_bytes
+    pub fn bytes_ingested(&self) -> u64 {
+        self.state.lock().bytes_ingested
+    }
+
     /// Payload bytes held (tombstones are empty).
     pub fn used_bytes(&self) -> u64 {
         self.state
@@ -263,6 +280,12 @@ impl ReplicaSet {
     /// How many replicas are currently reachable.
     pub fn reachable(&self) -> usize {
         self.nodes.iter().filter(|n| !n.is_down()).count()
+    }
+
+    /// Total commit traffic the whole group has accepted (sum of every
+    /// node's [`ReplicaNode::bytes_ingested`]).
+    pub fn bytes_ingested(&self) -> u64 {
+        self.nodes.iter().map(|n| n.bytes_ingested()).sum()
     }
 }
 

@@ -18,7 +18,11 @@
 use simos::cost::CostModel;
 
 /// Which kind of medium a backend is.
+///
+/// `#[non_exhaustive]`: downstream matches must carry a `_` arm so new
+/// media can be added without a breaking release.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
 pub enum StorageClass {
     /// RAM on the same node (Software Suspend's "standby" mode).
     Ram,
@@ -60,7 +64,12 @@ impl StorageClass {
 }
 
 /// Storage errors.
+///
+/// `#[non_exhaustive]`: downstream matches must carry a `_` arm so new
+/// failure modes (as with [`StorageError::MissingChunk`]) can be added
+/// without a breaking release.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum StorageError {
     /// The medium is unreachable (node down, network partition).
     Unavailable,
@@ -76,6 +85,16 @@ pub enum StorageError {
     /// `N - w + 1` replicas are intact (read). The operation is refused —
     /// returning stale or partial data here would be silent corruption.
     QuorumLost { acked: u32, needed: u32 },
+    /// A chunk manifest referenced a content-addressed chunk that the
+    /// backing store no longer holds (or holds with the wrong digest).
+    /// The object is unrecoverable *as stored*; the chain loader treats
+    /// this like decode failure and falls back to an older intact chain —
+    /// never silent corruption.
+    MissingChunk { digest: u64 },
+    /// An object carried the chunk-manifest magic but failed to decode
+    /// (torn manifest write, checksum mismatch). Typed detection, same
+    /// fallback policy as [`StorageError::MissingChunk`].
+    CorruptManifest { key: String },
 }
 
 impl std::fmt::Display for StorageError {
@@ -89,6 +108,12 @@ impl std::fmt::Display for StorageError {
             StorageError::Transient => write!(f, "transient storage failure"),
             StorageError::QuorumLost { acked, needed } => {
                 write!(f, "quorum lost: {acked} of {needed} required replicas")
+            }
+            StorageError::MissingChunk { digest } => {
+                write!(f, "missing content chunk cas/{digest:016x}")
+            }
+            StorageError::CorruptManifest { key } => {
+                write!(f, "corrupt chunk manifest under {key}")
             }
         }
     }
@@ -166,8 +191,9 @@ pub trait StableStorage: Send {
 }
 
 /// Canonical object key for a checkpoint: `job/pid/seq`.
+#[deprecated(since = "0.2.0", note = "use the typed `ckpt_storage::ImageKey` instead")]
 pub fn image_key(job: &str, pid: u32, seq: u64) -> String {
-    format!("{job}/pid{pid}/seq{seq:08}")
+    crate::key::ImageKey::new(job, pid, seq).to_string()
 }
 
 #[cfg(test)]
@@ -193,8 +219,15 @@ mod tests {
 
     #[test]
     fn image_keys_sort_by_sequence() {
-        let a = image_key("job", 1, 2);
-        let b = image_key("job", 1, 10);
+        use crate::key::ImageKey;
+        let a = ImageKey::new("job", 1, 2).to_string();
+        let b = ImageKey::new("job", 1, 10).to_string();
         assert!(a < b, "zero-padded sequence numbers must sort numerically");
+        // The rendered keys parse back and the typed order agrees with the
+        // string order the media rely on.
+        let pa: ImageKey = a.parse().unwrap();
+        let pb: ImageKey = b.parse().unwrap();
+        assert_eq!((pa.seq, pb.seq), (2, 10));
+        assert!(pa < pb, "typed order follows sequence");
     }
 }

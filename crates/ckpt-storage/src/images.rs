@@ -1,7 +1,8 @@
 //! Convenience layer for storing and retrieving [`CheckpointImage`]s on any
 //! backend, including incremental-chain retrieval.
 
-use crate::backend::{image_key, StableStorage, StorageError, StoreReceipt};
+use crate::backend::{StableStorage, StorageError, StoreReceipt};
+use crate::key::ImageKey;
 use ckpt_image::{decode, encode, ChainError, CheckpointImage, DecodeError, ImageKind};
 use simos::cost::CostModel;
 
@@ -48,7 +49,7 @@ pub fn store_image(
     img: &CheckpointImage,
     cost: &CostModel,
 ) -> Result<StoreReceipt, ImageStoreError> {
-    let key = image_key(job, img.header.pid, img.header.seq);
+    let key = ImageKey::new(job, img.header.pid, img.header.seq).to_string();
     let bytes = encode(img);
     Ok(storage.store(&key, &bytes, cost)?)
 }
@@ -65,7 +66,7 @@ pub fn store_image_bytes(
     bytes: &[u8],
     cost: &CostModel,
 ) -> Result<StoreReceipt, ImageStoreError> {
-    let key = image_key(job, pid, seq);
+    let key = ImageKey::new(job, pid, seq).to_string();
     Ok(storage.store(&key, bytes, cost)?)
 }
 
@@ -77,7 +78,7 @@ pub fn load_image(
     seq: u64,
     cost: &CostModel,
 ) -> Result<(CheckpointImage, u64), ImageStoreError> {
-    let key = image_key(job, pid, seq);
+    let key = ImageKey::new(job, pid, seq).to_string();
     let (bytes, t) = storage.load(&key, cost)?;
     Ok((decode(&bytes)?, t))
 }
@@ -106,16 +107,13 @@ pub fn load_chain_at(
     max_seq: u64,
     cost: &CostModel,
 ) -> Result<(CheckpointImage, u64), ImageStoreError> {
-    let prefix = format!("{job}/pid{pid}/");
+    let prefix = ImageKey::lineage_prefix(job, pid);
     let mut keys: Vec<String> = storage
         .list()
         .into_iter()
         .filter(|k| {
             k.starts_with(&prefix)
-                && k[prefix.len()..]
-                    .trim_start_matches("seq")
-                    .parse::<u64>()
-                    .is_ok_and(|s| s <= max_seq)
+                && k.parse::<ImageKey>().is_ok_and(|ik| ik.seq <= max_seq)
         })
         .collect();
     keys.sort();
@@ -176,7 +174,7 @@ pub fn load_latest_valid_chain(
     cost: &CostModel,
     mut on_segment: impl FnMut(u64) -> Result<(), ChainError>,
 ) -> Result<ChainLoad, ImageStoreError> {
-    let prefix = format!("{job}/pid{pid}/");
+    let prefix = ImageKey::lineage_prefix(job, pid);
     let mut keys: Vec<String> = storage
         .list()
         .into_iter()
@@ -261,8 +259,8 @@ pub fn prune_before(
     keep_from_seq: u64,
     cost: &CostModel,
 ) -> Result<usize, ImageStoreError> {
-    let prefix = format!("{job}/pid{pid}/");
-    let cutoff = image_key(job, pid, keep_from_seq);
+    let prefix = ImageKey::lineage_prefix(job, pid);
+    let cutoff = ImageKey::new(job, pid, keep_from_seq).to_string();
     let mut victims = Vec::new();
     let mut kept = Vec::new();
     for k in storage.list() {
@@ -455,8 +453,12 @@ mod tests {
         }
         // A crash tore the newest incremental (seq 3) mid-write.
         let full3 = encode(&img(3, 2, ImageKind::Incremental, vec![(3, 3)]));
-        disk.store(&image_key("job", 1, 3), &full3[..full3.len() / 2], &c)
-            .unwrap();
+        disk.store(
+            &ImageKey::new("job", 1, 3).to_string(),
+            &full3[..full3.len() / 2],
+            &c,
+        )
+        .unwrap();
         assert!(
             load_latest_chain(&disk, "job", 1, &c).is_err(),
             "the plain loader chokes on the torn tip"
@@ -471,7 +473,8 @@ mod tests {
         let mut disk = LocalDisk::new(1 << 30);
         let c = CostModel::circa_2005();
         let full = encode(&img(1, 0, ImageKind::Full, vec![(1, 1)]));
-        disk.store(&image_key("job", 1, 1), &full[..10], &c).unwrap();
+        disk.store(&ImageKey::new("job", 1, 1).to_string(), &full[..10], &c)
+            .unwrap();
         assert!(matches!(
             load_latest_valid_chain(&disk, "job", 1, &c, |_| Ok(())),
             Err(ImageStoreError::Decode(_))
@@ -499,7 +502,7 @@ mod tests {
         let image = img(1, 0, ImageKind::Full, vec![(1, 7)]);
         store_image(&mut disk, "job", &image, &c).unwrap();
         // Corrupt the stored bytes out-of-band.
-        let key = image_key("job", 1, 1);
+        let key = ImageKey::new("job", 1, 1).to_string();
         let (mut bytes, _) = disk.load(&key, &c).unwrap();
         bytes[40] ^= 0xFF;
         disk.store(&key, &bytes, &c).unwrap();

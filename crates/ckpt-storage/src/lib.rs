@@ -13,11 +13,13 @@
 pub mod backend;
 pub mod images;
 pub mod inject;
+pub mod key;
 pub mod media;
 
-pub use backend::{
-    image_key, ReplicaManifest, StableStorage, StorageClass, StorageError, StoreReceipt,
-};
+#[allow(deprecated)]
+pub use backend::image_key;
+pub use backend::{ReplicaManifest, StableStorage, StorageClass, StorageError, StoreReceipt};
+pub use key::{ImageKey, ObjectKey, ParseKeyError};
 pub use images::{
     load_chain_at, load_image, load_latest_chain, load_latest_valid_chain, prune_before, store_image,
     store_image_bytes, ChainLoad, ImageStoreError,

@@ -14,7 +14,9 @@
 //! * [`ckpt_par`] — the scoped work-stealing pool with deterministic
 //!   ordered merge behind the parallel checkpoint pipeline;
 //! * [`ckpt_storage`] — stable-storage backends with availability
-//!   semantics;
+//!   semantics and the typed [`ckpt_storage::ObjectKey`] namespace;
+//! * [`ckpt_cas`] — content-defined chunking, the content-addressed
+//!   dedup store with refcounted GC, and the XOR+RLE delta codec;
 //! * [`ckpt_replica`] — N-way quorum-replicated stable storage with
 //!   retry/backoff, read-repair, and typed `QuorumLost` degradation;
 //! * [`ckpt_core`] — trackers, the seven mechanism families, pod
@@ -33,6 +35,7 @@
 //! See `README.md` for a quickstart and `EXPERIMENTS.md` for the
 //! reproduction results.
 
+pub use ckpt_cas as cas;
 pub use ckpt_cluster as cluster;
 pub use ckpt_core as ckpt;
 pub use ckpt_image as image;
@@ -58,6 +61,7 @@ pub use ckpt_core as core;
 /// and its builder, trackers, storage handles, outcome types, the kernel
 /// itself, and the trace subsystem's entry points.
 pub mod prelude {
+    pub use ckpt_cas::{CasStats, CasStatsHandle, ChunkParams, DedupStore};
     pub use ckpt_core::capture::{CaptureOptions, RestoreOptions, RestorePid};
     pub use ckpt_core::mechanism::{
         KernelCkptEngine, KernelCkptEngineBuilder, Mechanism, MechanismInfo,
@@ -65,6 +69,7 @@ pub mod prelude {
     pub use ckpt_core::report::{CkptOutcome, RestartOutcome};
     pub use ckpt_core::tracker::{Tracker, TrackerKind};
     pub use ckpt_core::{shared_storage, SharedStorage};
+    pub use ckpt_storage::{ImageKey, ObjectKey};
     pub use simos::trace::{Phase, TraceHandle, TraceReport};
     pub use simos::Kernel;
 }

@@ -8,8 +8,8 @@
 //! swept. Skipped cells (inapplicable fault kinds) are logged, not hidden.
 
 use ckpt_core::crashpoint::{
-    all_configs, run_config, CellOutcome, MatrixReport, BACKENDS, HIBERNATE_BACKENDS,
-    REPLICATED_BACKENDS, REPLICATION_MECH, TRAIT_MECHANISMS,
+    all_configs, run_config, CellOutcome, MatrixReport, BACKENDS, DEDUP_BACKENDS, DEDUP_MECH,
+    HIBERNATE_BACKENDS, REPLICATED_BACKENDS, REPLICATION_MECH, TRAIT_MECHANISMS,
 };
 
 #[test]
@@ -102,6 +102,42 @@ fn full_crash_matrix_has_no_violations_and_no_panics() {
             "client-side fault sites never armed on {backend}"
         );
     }
+    // Dedup tier: the content-addressed store ran over both backings, the
+    // manifest-commit site was actually armed (the one new crash window
+    // dedup introduces), and the inner backend's sites still show through
+    // the decorator. Zero violations is already asserted globally above —
+    // a torn manifest or missing chunk is always typed detection or a
+    // bit-exact older-chain restart, never silent corruption.
+    for backend in DEDUP_BACKENDS {
+        assert!(
+            report
+                .cells
+                .iter()
+                .any(|c| c.mechanism == DEDUP_MECH && c.backend == backend),
+            "no cells for {DEDUP_MECH}/{backend}"
+        );
+        assert!(
+            report
+                .cells
+                .iter()
+                .any(|c| c.backend == backend
+                    && c.site.contains("cas/commit")
+                    && !matches!(c.outcome, CellOutcome::Skipped { .. })),
+            "manifest-commit site never armed concretely on {backend}"
+        );
+        assert!(
+            report
+                .cells
+                .iter()
+                .any(|c| c.backend == backend && c.site.starts_with("storage/")),
+            "inner-backend fault sites never swept through dedup on {backend}"
+        );
+    }
+    assert!(
+        report.cells.iter().any(|c| c.backend == "dedup(replicated(3,2))"
+            && c.site.starts_with("replica/r")),
+        "per-replica sites never armed under the dedup decorator"
+    );
     for fault in ["fail-stop", "transient", "torn-write"] {
         assert!(
             report.cells.iter().any(|c| c.fault == fault
