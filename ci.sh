@@ -44,6 +44,18 @@ awk -v r="$DEDUP_RATIO" 'BEGIN { exit !(r > 2.0) }' || {
     exit 1
 }
 
+echo '== shard gate: striped-pool properties + protocol crash sweep + pinned report =='
+# The sharded control plane gets its own named gate: adversarial
+# per-stripe damage must stay byte-identical on healthy stripes and
+# typed-QuorumLost on broken ones (never cross-stripe corruption); every
+# shard-commit and root-commit protocol faultpoint must recover
+# state-identical to a failure-free run; and the `report c14` scale
+# sweep (1k–10k nodes) is FNV-pinned and pool-width-invariant by the
+# golden test.
+cargo test -q -p ckpt-restart --test stripe_properties
+cargo test -q -p ckpt-restart --test shard_crash
+cargo test -q -p ckpt-bench --test golden_c14
+
 echo '== cargo clippy -- -D warnings =='
 cargo clippy --workspace --all-targets -- -D warnings
 
@@ -65,6 +77,13 @@ awk -v w="$C7A_WALL" 'BEGIN { exit !(w < 20.0) }' || {
 # whole suite must finish within 3.5 s of summed wall-clock; narrow hosts
 # fall back to a serial ceiling (the suite ran ~8.4 s single-core when the
 # gate was set, so 20 s is slow-runner slack, same policy as the c7a gate).
+# The c14 scale sweep's wall-clock delta is printed on every run (not
+# just on failure): it is the one experiment whose cost scales with the
+# simulated node count, so drift shows up here first.
+C14_WALL=$(grep '"c14_shard"' BENCH_report.json | awk -F'"wall_s": ' '{print $2}' | awk -F',' '{print $1}')
+C14_DELTA=$(awk -v w="$C14_WALL" 'BEGIN { printf "%+.3f", w - 0.516 }')
+echo "c14_shard wall-clock: ${C14_WALL}s (baseline 0.516s, delta ${C14_DELTA}s)"
+
 if [ "$(nproc)" -ge 4 ]; then TOTAL_CEILING=3.5; else TOTAL_CEILING=20; fi
 TOTAL_WALL=$(grep '"total_wall_s"' BENCH_report.json | awk -F': ' '{print $2}' | tr -d ' ')
 echo "suite total wall-clock: ${TOTAL_WALL}s (ceiling ${TOTAL_CEILING}s on $(nproc) cores)"
@@ -90,6 +109,7 @@ awk -v w="$TOTAL_WALL" -v c="$TOTAL_CEILING" 'BEGIN { exit !(w < c) }' || {
             trace)                       echo 0.584 ;;
             c12_replication)             echo 0.054 ;;
             c13_dedup)                   echo 0.124 ;;
+            c14_shard)                   echo 0.516 ;;
             *)                           echo 0.000 ;;
         esac
     }

@@ -1195,6 +1195,7 @@ fn trace_breakdown_for_all() -> String {
 pub const TIMED_STANDALONE: &[(&str, fn() -> String)] = &[
     ("c12_replication", c12_replication),
     ("c13_dedup", c13_dedup),
+    ("c14_shard", c14_shard),
 ];
 
 // ---------------------------------------------------------------------
@@ -1565,6 +1566,186 @@ pub fn c13_dedup() -> String {
          {replication}\n\
          cross-process dedup ratio at n=8: {cross_ratio_at_8:.2}x\n\
          replication commit reduction at n=8: {reduction_at_8:.2}x"
+    )
+}
+
+// ---------------------------------------------------------------------
+// C14 — the sharded control plane at 1k–10k nodes
+// ---------------------------------------------------------------------
+
+/// C14: the two-level sharded control plane — shard-local coordinated
+/// rounds each committing one framed multi-object batch into a striped
+/// replica pool, the root sealing the global cut only after every
+/// shard's quorum ack.
+///
+/// (a) grounds the protocol on a real striped cluster: hierarchical
+/// rounds over 16 MPI ranks, replica ack cycles bounded by
+/// shards × stripes rather than ranks; (b)–(d) sweep the deterministic
+/// scale model from 1,000 to 10,000 simulated nodes under the paper's
+/// per-node MTBF regime — round latency vs node count, shard count and
+/// stripe width, batched vs per-image ack cycles, and the expected
+/// rework per disturbed round when only the hit shard (not the whole
+/// machine) must redo its round.
+///
+/// Standalone like C12/C13 (`report c14`); not part of `report all`.
+pub fn c14_shard() -> String {
+    use ckpt_cluster::{scale_round, MpiJob, ScaleConfig, ScalePoint, ShardedCoordinator};
+
+    let cost = CostModel::circa_2005();
+
+    // (a) The real protocol: 16 ranks on 4 nodes, 2 shards, a 4×3
+    // striped pool at write quorum 2. Round 1 is full, round 2
+    // incremental; the per-image path would pay one ack cycle per rank.
+    let mut c = Cluster::new_striped(4, CostModel::circa_2005(), FailureConfig::none(), 4, 3, 2);
+    let mut job = MpiJob::launch(
+        &mut c,
+        "app",
+        16,
+        NativeKind::SparseRandom,
+        AppParams::small(),
+        6,
+        32 * 1024,
+    )
+    .expect("launch");
+    let mut coord = ShardedCoordinator::new("c14", TrackerKind::KernelPage, 2);
+    let mut arows = Vec::new();
+    for _ in 0..2 {
+        for _ in 0..2 {
+            job.superstep(&mut c).expect("superstep");
+        }
+        let o = coord.checkpoint(&mut c, &job).expect("checkpoint");
+        arows.push(vec![
+            o.seq.to_string(),
+            if o.incremental { "incremental" } else { "full" }.to_string(),
+            o.shards.to_string(),
+            o.ranks.to_string(),
+            bytes(o.total_bytes),
+            ns(o.round_ns),
+            o.ack_cycles.to_string(),
+            o.ranks.to_string(),
+        ]);
+    }
+    let cluster_tbl = table(
+        &[
+            "seq",
+            "kind",
+            "shards",
+            "ranks",
+            "bytes",
+            "round",
+            "batched acks",
+            "per-image acks",
+        ],
+        &arows,
+    );
+
+    // (b)–(d) The scale model: synthetic deterministic per-rank payloads,
+    // REAL batched quorum commits through a StripedStore, MTBF arithmetic
+    // on the measured round time. The base point is 4,000 nodes over 16
+    // shards and a 4-wide stripe pool at the paper's 10 h per-node MTBF.
+    let base = ScaleConfig {
+        nodes: 4000,
+        shards: 16,
+        stripes: 4,
+        replicas: 3,
+        write_quorum: 2,
+        mean_image_bytes: 1024,
+        mtbf_hours: 10.0,
+        seed: 0xc14,
+    };
+    let headers = [
+        "nodes",
+        "shards",
+        "stripes",
+        "dirty",
+        "capture",
+        "commit",
+        "round",
+        "batched acks",
+        "per-image acks",
+        "p(disturb)",
+        "E[redo] sharded",
+        "E[redo] monolithic",
+    ];
+    let row = |p: &ScalePoint| -> Vec<String> {
+        vec![
+            p.nodes.to_string(),
+            p.shards.to_string(),
+            p.stripes.to_string(),
+            bytes(p.dirty_bytes),
+            ns(p.capture_ns),
+            ns(p.commit_ns),
+            ns(p.round_ns),
+            p.batched_ack_cycles.to_string(),
+            p.per_image_ack_cycles.to_string(),
+            format!("{:.6}", p.p_disturb),
+            ns(p.expected_redo_ns),
+            ns(p.expected_redo_mono_ns),
+        ]
+    };
+
+    // The base point appears in all three sweeps; computed once, the
+    // tables stay byte-identical and the wall-clock stays lean.
+    let base_point = scale_round(&base, &cost);
+
+    let node_points: Vec<ScalePoint> = [1000usize, 2000, 4000, 10000]
+        .iter()
+        .map(|&nodes| {
+            if nodes == base.nodes {
+                base_point.clone()
+            } else {
+                scale_round(&ScaleConfig { nodes, ..base.clone() }, &cost)
+            }
+        })
+        .collect();
+    let node_tbl = table(&headers, &node_points.iter().map(&row).collect::<Vec<_>>());
+
+    let shard_points: Vec<ScalePoint> = [1usize, 4, 16, 64]
+        .iter()
+        .map(|&shards| {
+            if shards == base.shards {
+                base_point.clone()
+            } else {
+                scale_round(&ScaleConfig { shards, ..base.clone() }, &cost)
+            }
+        })
+        .collect();
+    let shard_tbl = table(&headers, &shard_points.iter().map(&row).collect::<Vec<_>>());
+
+    let stripe_points: Vec<ScalePoint> = [1usize, 2, 4, 8]
+        .iter()
+        .map(|&stripes| {
+            if stripes == base.stripes {
+                base_point.clone()
+            } else {
+                scale_round(&ScaleConfig { stripes, ..base.clone() }, &cost)
+            }
+        })
+        .collect();
+    let stripe_tbl = table(&headers, &stripe_points.iter().map(&row).collect::<Vec<_>>());
+
+    let big = node_points.last().expect("10k point");
+    let ack_reduction = big.per_image_ack_cycles as f64 / big.batched_ack_cycles as f64;
+    let redo_reduction = big.expected_redo_mono_ns as f64 / big.expected_redo_ns.max(1) as f64;
+
+    format!(
+        "C14 — sharded control plane: hierarchical rounds, batched quorum commits, striped pool\n\
+         hierarchical rounds on a real striped cluster (2 shards, 4x3 pool, w=2)\n\
+         {cluster_tbl}\n\
+         scale model: node sweep at 16 shards x 4 stripes (10 h per-node MTBF)\n\
+         {node_tbl}\n\
+         scale model: shard sweep at 4,000 nodes\n\
+         {shard_tbl}\n\
+         scale model: stripe sweep at 4,000 nodes\n\
+         {stripe_tbl}\n\
+         ack cycles per round at {} nodes: batched {} vs per-image {} ({ack_reduction:.1}x fewer)\n\
+         expected redo per disturbed round at {} nodes: sharded {} vs monolithic {} ({redo_reduction:.1}x less rework)",
+        big.nodes,
+        big.batched_ack_cycles,
+        big.per_image_ack_cycles,
+        big.nodes,
+        ns(big.expected_redo_ns),
+        ns(big.expected_redo_mono_ns),
     )
 }
 

@@ -11,7 +11,7 @@
 
 use crate::node::{Node, NodeId};
 use ckpt_core::shared_storage;
-use ckpt_replica::{ReplicaConfig, ReplicaSet, ReplicatedStore};
+use ckpt_replica::{ReplicaConfig, ReplicaSet, ReplicatedStore, StripedReplicaSet, StripedStore};
 use ckpt_storage::RemoteServer;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -63,6 +63,9 @@ pub struct Cluster {
     /// cluster was built with [`Cluster::new_replicated`]; `None` under the
     /// single-server remote.
     replica_set: Option<Arc<ReplicaSet>>,
+    /// The shared striped pool behind every node's remote handle when the
+    /// cluster was built with [`Cluster::new_striped`].
+    striped_set: Option<Arc<StripedReplicaSet>>,
     now_ns: u64,
     failure_cfg: FailureConfig,
     rng: StdRng,
@@ -138,6 +141,7 @@ impl Cluster {
             nodes,
             remote_server,
             replica_set,
+            striped_set: None,
             now_ns: 0,
             failure_cfg,
             rng,
@@ -148,9 +152,47 @@ impl Cluster {
         }
     }
 
+    /// Build a cluster whose remote stable storage is a striped replica
+    /// pool: `stripes` independent quorum sets of `n_replicas` each (write
+    /// quorum `w`), keys routed by lineage hash. Every cluster node gets
+    /// its own [`StripedStore`] client onto the same shared pool, so
+    /// commits to different rank lineages overlap in virtual time instead
+    /// of serializing behind one replica set.
+    pub fn new_striped(
+        n_nodes: usize,
+        cost: CostModel,
+        failure_cfg: FailureConfig,
+        stripes: usize,
+        n_replicas: usize,
+        w: usize,
+    ) -> Self {
+        let remote_server = RemoteServer::new(1 << 40);
+        let set = StripedReplicaSet::new(stripes, n_replicas);
+        let cfg = ReplicaConfig::new(n_replicas, w);
+        let client_set = set.clone();
+        let mut c = Self::build(
+            n_nodes,
+            cost,
+            failure_cfg,
+            remote_server,
+            None,
+            move |id, cost| {
+                let store = StripedStore::new(client_set.clone(), cfg);
+                Node::with_remote(id, cost, shared_storage(store))
+            },
+        );
+        c.striped_set = Some(set);
+        c
+    }
+
     /// The shared replica set (replicated clusters only).
     pub fn replica_set(&self) -> Option<&Arc<ReplicaSet>> {
         self.replica_set.as_ref()
+    }
+
+    /// The shared striped pool (striped clusters only).
+    pub fn striped_set(&self) -> Option<&Arc<StripedReplicaSet>> {
+        self.striped_set.as_ref()
     }
 
     /// Install a trace sink on the cluster and every node kernel (nodes

@@ -33,6 +33,115 @@ pub struct CoordOutcome {
     pub incremental: bool,
 }
 
+/// Freeze rank `r` and capture + encode its image (pool-chunked CRC),
+/// returning the encoded bytes. On success the rank is left **frozen** —
+/// the caller commits the bytes (inline, or as part of a shard's batched
+/// quorum commit) and thaws it; on error the rank is thawed best-effort
+/// here and nothing is recorded.
+pub(crate) fn capture_rank_encoded(
+    cluster: &mut Cluster,
+    r: RankRef,
+    seq: u64,
+    incremental: bool,
+    tracker: &mut Tracker,
+    pool: &Arc<ckpt_par::Pool>,
+) -> SimResult<Vec<u8>> {
+    let k = cluster
+        .node(r.node)
+        .kernel()
+        .ok_or_else(|| SimError::Usage(format!("{} down during checkpoint", r.node)))?;
+    k.freeze_process(r.pid)?;
+    let pool_stats0 = pool.stats();
+    let result = (|| -> SimResult<Vec<u8>> {
+        let opts = if incremental && tracker.is_armed() {
+            let c = tracker.collect(k, r.pid)?;
+            let mut o = CaptureOptions::incremental("coordinated", seq, seq - 1, c.pages);
+            o.node = r.node.0;
+            o.encode_pool = Some(pool.clone());
+            o
+        } else {
+            let mut o = CaptureOptions::full("coordinated", seq);
+            o.node = r.node.0;
+            o.encode_pool = Some(pool.clone());
+            o
+        };
+        let mut img = capture_image(k, r.pid, &opts)?;
+        // Key images by *rank*, which is stable across migrations.
+        img.header.pid = r.rank;
+        // Serialize (pool-chunked CRC) while frozen; the commit happens
+        // outside, in whatever order the protocol requires.
+        Ok(ckpt_image::encode_with_pool(&img, pool))
+    })();
+    let pool_delta = pool.stats().since(pool_stats0);
+    k.trace
+        .par_encode(pool_delta.tasks, pool_delta.steals, pool_delta.merge_stalls);
+    result.inspect_err(|_| {
+        let _ = k.thaw_process(r.pid);
+    })
+}
+
+/// Restart every saved rank from the cut committed at `committed_seq`,
+/// placing ranks round-robin on the currently alive nodes. Shared by the
+/// flat [`Coordinator`] and the sharded one — the restore path is
+/// identical; only how the cut was *committed* differs.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn restart_saved_ranks(
+    cluster: &mut Cluster,
+    job: &mut MpiJob,
+    job_key: &str,
+    saved_ranks: &[u32],
+    committed_seq: u64,
+    tracker_kind: TrackerKind,
+    trackers: &mut BTreeMap<u32, Tracker>,
+) -> SimResult<()> {
+    // Kill any surviving ranks (a consistent cut requires all ranks to
+    // roll back together).
+    for r in &job.ranks {
+        if let Some(k) = cluster.node(r.node).kernel() {
+            if k.process(r.pid).is_some() {
+                k.post_signal(r.pid, simos::signal::Sig::SIGKILL);
+                let _ = k.run_for(1_000_000);
+                let _ = k.reap(r.pid);
+            }
+        }
+    }
+    let alive = cluster.alive_nodes();
+    if alive.is_empty() {
+        return Err(SimError::Usage("no alive nodes to restart on".into()));
+    }
+    let mut new_ranks = Vec::new();
+    for (i, rank) in saved_ranks.iter().copied().enumerate() {
+        let node = alive[i % alive.len()];
+        let remote = cluster.nodes[node.0 as usize].remote.clone();
+        let k = cluster.node(node).kernel().expect("alive");
+        let (full, load_ns, load_label) = {
+            let s = remote.lock();
+            let (img, t) = load_chain_at(&**s, job_key, rank, committed_seq, &k.cost)
+                .map_err(|e| SimError::Usage(format!("coordinated load failed: {e}")))?;
+            (img, t, s.label())
+        };
+        k.charge(load_ns);
+        k.trace.storage(
+            simos::trace::StorageOp::Load,
+            &load_label,
+            full.memory_bytes(),
+            load_ns,
+        );
+        let pid = restore_image(k, &full, &RestoreOptions::fresh_running(RestorePid::Fresh))?;
+        // Tracking state does not survive migration; re-arm fresh.
+        if let Some(t) = trackers.get_mut(&rank) {
+            *t = Tracker::new(tracker_kind);
+        }
+        new_ranks.push(RankRef { rank, node, pid });
+    }
+    // Trackers were re-created above (unarmed), so the next checkpoint
+    // round is automatically full; the sequence number keeps increasing
+    // so chain lineage in storage stays valid.
+    job.ranks = new_ranks;
+    job.resync_supersteps(cluster)?;
+    Ok(())
+}
+
 /// The coordinated-checkpoint driver for one job.
 pub struct Coordinator {
     pub job_key: String,
@@ -162,43 +271,18 @@ impl Coordinator {
             .or_insert_with(|| Tracker::new(self.tracker_kind));
         let remote = cluster.nodes[r.node.0 as usize].remote.clone();
         let job_key = self.job_key.clone();
+        // Capture + encode leaves the rank frozen; commit the pre-encoded
+        // bytes in rank order on the shared remote, then thaw.
+        let bytes = capture_rank_encoded(cluster, r, seq, incremental, tracker, &pool)?;
         let k = cluster
             .node(r.node)
             .kernel()
             .ok_or_else(|| SimError::Usage(format!("{} down during checkpoint", r.node)))?;
-        k.freeze_process(r.pid)?;
-        let pool_stats0 = pool.stats();
         let result = (|| -> SimResult<u64> {
-            let opts = if incremental && tracker.is_armed() {
-                let c = tracker.collect(k, r.pid)?;
-                let mut o = CaptureOptions::incremental("coordinated", seq, seq - 1, c.pages);
-                o.node = r.node.0;
-                o.encode_pool = Some(pool.clone());
-                o
-            } else {
-                let mut o = CaptureOptions::full("coordinated", seq);
-                o.node = r.node.0;
-                o.encode_pool = Some(pool.clone());
-                o
-            };
-            let mut img = capture_image(k, r.pid, &opts)?;
-            // Key images by *rank*, which is stable across migrations.
-            img.header.pid = r.rank;
-            // Serialize (pool-chunked CRC) outside the storage lock, then
-            // commit the pre-encoded bytes — the store itself stays in
-            // rank order on the shared remote.
-            let bytes = ckpt_image::encode_with_pool(&img, &pool);
             let (receipt, store_label) = {
                 let mut s = remote.lock();
-                let rc = store_image_bytes(
-                    s.as_mut(),
-                    &job_key,
-                    img.header.pid,
-                    img.header.seq,
-                    &bytes,
-                    &k.cost,
-                )
-                .map_err(|e| SimError::Usage(format!("coordinated store failed: {e}")))?;
+                let rc = store_image_bytes(s.as_mut(), &job_key, r.rank, seq, &bytes, &k.cost)
+                    .map_err(|e| SimError::Usage(format!("coordinated store failed: {e}")))?;
                 (rc, s.label())
             };
             k.trace.storage(
@@ -212,9 +296,6 @@ impl Coordinator {
             tracker.arm(k, r.pid)?;
             Ok(receipt.bytes)
         })();
-        let pool_delta = pool.stats().since(pool_stats0);
-        k.trace
-            .par_encode(pool_delta.tasks, pool_delta.steals, pool_delta.merge_stalls);
         match result {
             Ok(bytes) => {
                 k.thaw_process(r.pid)?;
@@ -252,53 +333,16 @@ impl Coordinator {
         if !self.has_checkpoint() {
             return Err(SimError::Usage("no coordinated checkpoint to restart".into()));
         }
-        // Kill any surviving ranks (a consistent cut requires all ranks to
-        // roll back together).
-        for r in &job.ranks {
-            if let Some(k) = cluster.node(r.node).kernel() {
-                if k.process(r.pid).is_some() {
-                    k.post_signal(r.pid, simos::signal::Sig::SIGKILL);
-                    let _ = k.run_for(1_000_000);
-                    let _ = k.reap(r.pid);
-                }
-            }
-        }
-        let alive = cluster.alive_nodes();
-        if alive.is_empty() {
-            return Err(SimError::Usage("no alive nodes to restart on".into()));
-        }
-        let mut new_ranks = Vec::new();
-        for (i, rank) in self.saved_ranks.clone().into_iter().enumerate() {
-            let node = alive[i % alive.len()];
-            let remote = cluster.nodes[node.0 as usize].remote.clone();
-            let k = cluster.node(node).kernel().expect("alive");
-            let (full, load_ns, load_label) = {
-                let s = remote.lock();
-                let (img, t) =
-                    load_chain_at(&**s, &self.job_key, rank, self.committed_seq, &k.cost)
-                        .map_err(|e| SimError::Usage(format!("coordinated load failed: {e}")))?;
-                (img, t, s.label())
-            };
-            k.charge(load_ns);
-            k.trace.storage(
-                simos::trace::StorageOp::Load,
-                &load_label,
-                full.memory_bytes(),
-                load_ns,
-            );
-            let pid = restore_image(k, &full, &RestoreOptions::fresh_running(RestorePid::Fresh))?;
-            // Tracking state does not survive migration; re-arm fresh.
-            if let Some(t) = self.trackers.get_mut(&rank) {
-                *t = Tracker::new(self.tracker_kind);
-            }
-            new_ranks.push(RankRef { rank, node, pid });
-        }
-        // Trackers were re-created above (unarmed), so the next
-        // checkpoint round is automatically full; the sequence number
-        // keeps increasing so chain lineage in storage stays valid.
-        job.ranks = new_ranks;
-        job.resync_supersteps(cluster)?;
-        Ok(())
+        let saved = self.saved_ranks.clone();
+        restart_saved_ranks(
+            cluster,
+            job,
+            &self.job_key,
+            &saved,
+            self.committed_seq,
+            self.tracker_kind,
+            &mut self.trackers,
+        )
     }
 }
 

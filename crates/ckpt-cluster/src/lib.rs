@@ -11,6 +11,9 @@
 //!   (the MPI stand-in; see DESIGN.md on the substitution);
 //! * [`coordinator`] — LAM/MPI-style coordinated checkpointing at
 //!   quiescent superstep boundaries, with migration-aware restart;
+//! * [`shard`] — the two-level sharded control plane: shard-local rounds
+//!   with batched quorum commits, a root two-phase global cut, and the
+//!   1k–10k node scale model;
 //! * [`migrate`] — process migration with or without pod virtualization;
 //! * [`gang`] — gang scheduling via safe-preemption checkpoints;
 //! * [`analytics`] — mechanistic job runs under failures, and an
@@ -25,6 +28,7 @@ pub mod gang;
 pub mod migrate;
 pub mod mpi;
 pub mod node;
+pub mod shard;
 
 pub use analytics::{interval_sweep, simulate_job, stochastic_run, JobRunConfig, JobRunReport};
 pub use batch::{BatchManager, BatchRoundReport, ManagedJob};
@@ -34,3 +38,7 @@ pub use gang::{Gang, GangScheduler};
 pub use migrate::{migrate, MigrationMode, MigrationReport};
 pub use mpi::{JobInterrupt, MpiJob, RankRef};
 pub use node::{Node, NodeId};
+pub use shard::{
+    scale_round, scale_round_with_pool, HierOutcome, ScaleConfig, ScalePoint, ShardRound,
+    ShardedCoordinator,
+};

@@ -31,7 +31,7 @@ use crate::mechanism::Mechanism;
 use crate::tracker::TrackerKind;
 use crate::{shared_storage, RestorePid, SharedStorage};
 use ckpt_cas::{ChunkParams, DedupStore};
-use ckpt_replica::{ReplicaConfig, ReplicaSet, ReplicatedStore};
+use ckpt_replica::{ReplicaConfig, ReplicaSet, ReplicatedStore, StripedStore};
 use ckpt_storage::{
     load_latest_valid_chain, FaultInjectStore, LocalDisk, NvramStore, RamStore, RemoteServer,
     RemoteStore, StableStorage, SwapStore,
@@ -92,6 +92,26 @@ pub const DEDUP_BACKENDS: [&str; 2] = ["dedup(local-disk)", "dedup(replicated(3,
 /// The mechanism family driven over the dedup backends.
 pub const DEDUP_MECH: &str = "syscall";
 
+/// Striped quorum pools forming the shard-commit tier: every store on a
+/// [`ckpt_replica::StripedStore`] routes through the framed multi-object
+/// batch-commit path (as a batch of one), so the recording pass
+/// enumerates the per-stripe `stripe<j>/r<i>/batch` sites the sharded
+/// control plane's deferred shard commits hit, and the sweep arms each
+/// of them with every fault kind. A fault on one stripe must never
+/// corrupt keys living on another.
+pub const STRIPED_BACKENDS: [&str; 1] = ["striped(2x3,2)"];
+
+/// The mechanism family driven over the striped backends.
+pub const STRIPED_MECH: &str = "syscall";
+
+/// Total cell count of the full matrix. The matrix is deterministic (the
+/// site list comes from a fault-free recording pass per column, no
+/// sampling), so the count is a fixed artifact of the instrumentation:
+/// any new site, backend, or mechanism changes it, and the driver test
+/// asserts and prints this constant so the documented number can never
+/// drift from the code again.
+pub const MATRIX_CELLS: usize = 1845;
+
 /// Parse `"replicated(N,w)"` into its quorum parameters.
 fn replicated_params(which: &str) -> Option<(usize, usize)> {
     match which {
@@ -104,6 +124,14 @@ fn replicated_params(which: &str) -> Option<(usize, usize)> {
 /// Parse `"dedup(inner)"` into the backing-store name.
 fn dedup_inner(which: &str) -> Option<&str> {
     which.strip_prefix("dedup(")?.strip_suffix(')')
+}
+
+/// Parse `"striped(KxN,w)"` into (stripes, replicas per stripe, quorum).
+fn striped_params(which: &str) -> Option<(usize, usize, usize)> {
+    match which {
+        "striped(2x3,2)" => Some((2, 3, 2)),
+        _ => None,
+    }
 }
 
 /// One (mechanism × backend) column of the matrix.
@@ -136,6 +164,12 @@ pub fn all_configs() -> Vec<MatrixConfig> {
     for backend in DEDUP_BACKENDS {
         v.push(MatrixConfig {
             mechanism: DEDUP_MECH,
+            backend,
+        });
+    }
+    for backend in STRIPED_BACKENDS {
+        v.push(MatrixConfig {
+            mechanism: STRIPED_MECH,
             backend,
         });
     }
@@ -380,6 +414,14 @@ fn injected_storage(which: &str, faults: &FaultHandle) -> SharedStorage {
                 .with_params(ChunkParams::COARSE)
                 .with_faults(faults.clone()),
         );
+    }
+    if let Some((k, n, w)) = striped_params(which) {
+        // Single-object stores on the striped pool still travel the framed
+        // batch-commit path, so every per-stripe `stripe<j>/r<i>/batch`
+        // admission is a recorded site; the outer FaultInjectStore adds
+        // the client-side `storage/striped(KxN,w)` sites on top.
+        let store = StripedStore::fresh(k, n, w).with_faults(faults.clone());
+        return shared_storage(FaultInjectStore::new(Box::new(store), faults.clone()));
     }
     if let Some((n, w)) = replicated_params(which) {
         // The replicated store consults the shared handle itself at its
@@ -899,6 +941,45 @@ mod tests {
         assert!(
             saw_restart,
             "at least one torn commit must fall back to an older chain"
+        );
+    }
+
+    #[test]
+    fn striped_clean_scenario_restarts_bit_exact() {
+        for backend in STRIPED_BACKENDS {
+            let faults = FaultHandle::disabled();
+            let end = run_mech_scenario(STRIPED_MECH, backend, &faults);
+            assert!(end.ckpt_error.is_none(), "{backend}: {:?}", end.ckpt_error);
+            {
+                let mut s = end.storage.lock();
+                s.on_node_failure();
+                s.on_node_repair();
+            }
+            let mut mech = end.mech;
+            let mut k2 = Kernel::new(CostModel::circa_2005());
+            let r = mech.restart(&mut k2, RestorePid::Fresh).unwrap();
+            let step = verify_restored(&k2, r.pid, &app_params()).unwrap();
+            assert_eq!(step, r.work_done);
+        }
+    }
+
+    #[test]
+    fn striped_recording_enumerates_per_stripe_batch_sites() {
+        let sites = record_sites(MatrixConfig {
+            mechanism: STRIPED_MECH,
+            backend: "striped(2x3,2)",
+        });
+        let names: Vec<&str> = sites.iter().map(|s| s.name.as_str()).collect();
+        // Stores on the striped pool travel the framed batch path, so the
+        // shard-commit tier's per-stripe admission sites are all recorded.
+        assert!(
+            names.iter().any(|n| n.starts_with("stripe") && n.contains("/batch")),
+            "per-stripe batch-commit sites must be recorded: {names:?}"
+        );
+        // Batch sites carry the frame size so torn writes can split them.
+        assert!(
+            sites.iter().any(|s| s.name.contains("/batch") && s.bytes > 0),
+            "batch sites must carry frame byte sizes"
         );
     }
 

@@ -15,12 +15,16 @@
 //!   digest-protected frames;
 //! * [`store`] — [`ReplicatedStore`], the
 //!   [`StableStorage`](ckpt_storage::StableStorage) backend tying it
-//!   together over the `ckpt-par` worker pool.
+//!   together over the `ckpt-par` worker pool;
+//! * [`stripe`] — [`StripedStore`], K independent quorum sets behind one
+//!   facade so commits to different key lineages overlap in virtual time.
 
 pub mod backoff;
 pub mod node;
 pub mod store;
+pub mod stripe;
 
 pub use backoff::{Backoff, BackoffPolicy, RetriesExhausted};
 pub use node::{fnv1a64, Admission, Frame, Probe, ReplicaNode, ReplicaSet};
 pub use store::{ReplStats, ReplicaConfig, ReplicatedStore};
+pub use stripe::{stripe_route, StripedReplicaSet, StripedStore};

@@ -72,6 +72,16 @@ pub enum Probe {
 #[derive(Default)]
 struct NodeState {
     frames: BTreeMap<String, Frame>,
+    /// Per-key digest-check memo: `(version, intact)` of the last frame
+    /// probed under the key. Quorum reads and read-repair probe the same
+    /// frame repeatedly (a batched round probes every key at least twice);
+    /// the payload is only re-digested when the frame actually changed.
+    /// Every mutator of `frames` invalidates the key's entry.
+    intact_memo: BTreeMap<String, (u64, bool)>,
+    /// How many full-payload digest computations this replica has done —
+    /// the work the memo exists to avoid (observable, so tests can pin
+    /// repeated reads at zero extra digests).
+    digests_computed: u64,
     /// Monotonic payload bytes this replica has accepted over its life —
     /// the interconnect traffic a commit actually costs, which is what
     /// dedup is supposed to shrink.
@@ -137,6 +147,7 @@ impl ReplicaNode {
     /// Store an intact frame. Pure data copy — admission already happened.
     pub fn put(&self, key: &str, version: u64, data: &[u8]) {
         let mut s = self.state.lock();
+        s.intact_memo.remove(key);
         s.bytes_ingested += data.len() as u64;
         s.frames.insert(
             key.to_string(),
@@ -153,6 +164,7 @@ impl ReplicaNode {
     /// first `keep` bytes — exactly what a crash mid-write leaves behind.
     pub fn put_torn(&self, key: &str, version: u64, data: &[u8], keep: usize) {
         let mut s = self.state.lock();
+        s.intact_memo.remove(key);
         s.bytes_ingested += keep.min(data.len()) as u64;
         s.frames.insert(
             key.to_string(),
@@ -167,7 +179,9 @@ impl ReplicaNode {
 
     /// Store a tombstone (quorum delete marker).
     pub fn put_tombstone(&self, key: &str, version: u64) {
-        self.state.lock().frames.insert(
+        let mut s = self.state.lock();
+        s.intact_memo.remove(key);
+        s.frames.insert(
             key.to_string(),
             Frame {
                 version,
@@ -179,18 +193,47 @@ impl ReplicaNode {
     }
 
     /// Classify the frame under `key`. Pure read — admission is separate.
+    ///
+    /// The digest check is memoized per `(key, version)`: the first probe
+    /// of a frame pays the full-payload FNV, repeated probes of the same
+    /// committed frame are O(1). Every mutator invalidates the memo, so a
+    /// rewritten or corrupted frame is always re-checked.
     pub fn probe(&self, key: &str) -> Probe {
-        match self.state.lock().frames.get(key) {
-            None => Probe::Missing,
-            Some(f) if f.intact() => Probe::Valid(f.clone()),
-            Some(f) => Probe::Torn { version: f.version },
+        let mut s = self.state.lock();
+        let s = &mut *s;
+        let Some(f) = s.frames.get(key) else {
+            return Probe::Missing;
+        };
+        let intact = f.tombstone
+            || match s.intact_memo.get(key) {
+                Some(&(v, ok)) if v == f.version => ok,
+                _ => {
+                    s.digests_computed += 1;
+                    let ok = fnv1a64(&f.data) == f.digest;
+                    s.intact_memo.insert(key.to_string(), (f.version, ok));
+                    ok
+                }
+            };
+        if intact {
+            Probe::Valid(f.clone())
+        } else {
+            Probe::Torn { version: f.version }
         }
+    }
+
+    /// Full-payload digest computations this replica has performed so far
+    /// (the memo in [`ReplicaNode::probe`] keeps this from scaling with
+    /// the *read* count).
+    pub fn digests_computed(&self) -> u64 {
+        self.state.lock().digests_computed
     }
 
     /// Remove the frame under `key` outright (adversarial test hook —
     /// a real delete goes through tombstones).
     pub fn drop_key(&self, key: &str) {
-        self.state.lock().frames.remove(key);
+        let mut s = self.state.lock();
+        s.intact_memo.remove(key);
+        s.frames.remove(key);
     }
 
     /// Remove the frame under `key` only if it is still at `version` —
@@ -198,6 +241,7 @@ impl ReplicaNode {
     pub fn drop_if_version(&self, key: &str, version: u64) {
         let mut s = self.state.lock();
         if s.frames.get(key).is_some_and(|f| f.version == version) {
+            s.intact_memo.remove(key);
             s.frames.remove(key);
         }
     }
@@ -206,6 +250,7 @@ impl ReplicaNode {
     /// digest stale (adversarial torn-copy test hook).
     pub fn corrupt_key(&self, key: &str) {
         let mut s = self.state.lock();
+        s.intact_memo.remove(key);
         if let Some(f) = s.frames.get_mut(key) {
             let keep = f.data.len() / 2;
             f.data.truncate(keep);
@@ -317,6 +362,31 @@ mod tests {
             Probe::Valid(f) => assert_eq!((f.version, f.data.as_slice()), (1, &b"data"[..])),
             other => panic!("expected the v1 frame back, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn repeated_probes_do_not_redigest() {
+        let set = ReplicaSet::new(1);
+        let n = set.node(0);
+        n.put("k", 1, &vec![7u8; 64 * 1024]);
+        assert!(matches!(n.probe("k"), Probe::Valid(_)));
+        assert_eq!(n.digests_computed(), 1);
+        for _ in 0..16 {
+            assert!(matches!(n.probe("k"), Probe::Valid(_)));
+        }
+        assert_eq!(n.digests_computed(), 1, "repeated reads must hit the memo");
+        // A rewrite invalidates the memo...
+        n.put("k", 2, b"new");
+        assert!(matches!(n.probe("k"), Probe::Valid(_)));
+        assert_eq!(n.digests_computed(), 2);
+        // ...and so does in-place corruption at an unchanged version.
+        n.corrupt_key("k");
+        assert_eq!(n.probe("k"), Probe::Torn { version: 2 });
+        assert_eq!(n.digests_computed(), 3);
+        // Tombstones are trivially intact: no digest work at all.
+        n.put_tombstone("k", 3);
+        assert!(matches!(n.probe("k"), Probe::Valid(f) if f.tombstone));
+        assert_eq!(n.digests_computed(), 3);
     }
 
     #[test]

@@ -33,7 +33,7 @@ use std::sync::Arc;
 
 use ckpt_par::Pool;
 use ckpt_storage::{
-    ReplicaManifest, StableStorage, StorageClass, StorageError, StoreReceipt,
+    BatchReceipt, ReplicaManifest, StableStorage, StorageClass, StorageError, StoreReceipt,
 };
 use simos::cost::CostModel;
 use simos::faultpoint::{Fault, FaultHandle};
@@ -79,6 +79,10 @@ pub struct ReplStats {
     pub retries: u64,
     pub repairs: u64,
     pub quorum_losses: u64,
+    /// Quorum acknowledgement round-trips consumed: one per single-object
+    /// store or delete, one per *entire* framed batch commit. The scale
+    /// reports compare this across the per-image and batched paths.
+    pub ack_cycles: u64,
 }
 
 #[derive(Default)]
@@ -87,6 +91,7 @@ struct StatCells {
     retries: AtomicU64,
     repairs: AtomicU64,
     quorum_losses: AtomicU64,
+    ack_cycles: AtomicU64,
 }
 
 /// One client handle on an N-way replicated store. Cheap to construct;
@@ -100,6 +105,11 @@ pub struct ReplicatedStore {
     /// This *client's* reachability (its node may fail-stop); replica
     /// availability lives in the shared set.
     client_up: bool,
+    /// Faultpoint site namespace: sites render as
+    /// `{site_prefix}/r<i>/{op}`. The default `replica` keeps the
+    /// historical names; a striped pool gives each stripe its own prefix
+    /// so the crash matrix can tell the stripes apart.
+    site_prefix: String,
     manifests: BTreeMap<String, ReplicaManifest>,
     stats: StatCells,
 }
@@ -136,6 +146,7 @@ impl ReplicatedStore {
             trace: TraceHandle::disabled(),
             pool: ckpt_par::global().clone(),
             client_up: true,
+            site_prefix: "replica".to_string(),
             manifests: BTreeMap::new(),
             stats: StatCells::default(),
         }
@@ -166,6 +177,14 @@ impl ReplicatedStore {
         self
     }
 
+    /// Rename the faultpoint site namespace (default `replica`). A striped
+    /// pool gives each stripe `stripe<k>` so the crash matrix can target a
+    /// single stripe's replicas.
+    pub fn with_site_prefix(mut self, prefix: impl Into<String>) -> Self {
+        self.site_prefix = prefix.into();
+        self
+    }
+
     pub fn config(&self) -> ReplicaConfig {
         self.cfg
     }
@@ -181,6 +200,7 @@ impl ReplicatedStore {
             retries: self.stats.retries.load(Ordering::Relaxed),
             repairs: self.stats.repairs.load(Ordering::Relaxed),
             quorum_losses: self.stats.quorum_losses.load(Ordering::Relaxed),
+            ack_cycles: self.stats.ack_cycles.load(Ordering::Relaxed),
         }
     }
 
@@ -193,7 +213,7 @@ impl ReplicatedStore {
     /// retries consumed, and backoff virtual-ns accumulated.
     fn resolve_replica(&self, i: usize, op: &str, key: &str, bytes: u64) -> (WriteCmd, u64, u64) {
         let node = self.set.node(i);
-        let site = format!("replica/r{i}/{op}");
+        let site = format!("{}/r{i}/{op}", self.site_prefix);
         let salt = fnv1a64(key.as_bytes()) ^ (i as u64);
         let mut backoff = Backoff::new(self.cfg.backoff, salt);
         let mut retries = 0u64;
@@ -221,7 +241,7 @@ impl ReplicatedStore {
                         }
                         Err(_) => return (WriteCmd::Skip, retries, delay_ns),
                     },
-                    Some(Fault::TornWrite { keep_bytes }) if op == "store" => {
+                    Some(Fault::TornWrite { keep_bytes }) if op != "load" => {
                         // The replica dies mid-write; the payload prefix is
                         // already on its medium.
                         node.fail();
@@ -261,6 +281,19 @@ impl ReplicatedStore {
             })
             .max()
             .unwrap_or(0)
+    }
+
+    /// Undo the last committed write of `key`: drop that exact version from
+    /// every replica and forget the manifest. Used by the striped pool to
+    /// make a multi-stripe batch all-or-nothing when a *later* stripe
+    /// refuses quorum — `drop_if_version` means an unrelated newer commit
+    /// can never be clobbered.
+    pub(crate) fn retract_commit(&mut self, key: &str) {
+        if let Some(m) = self.manifests.remove(key) {
+            for i in 0..self.cfg.n {
+                self.set.node(i).drop_if_version(key, m.version);
+            }
+        }
     }
 
     fn bump_stats(&self, commits: u64, retries: u64, repairs: u64, losses: u64) {
@@ -333,6 +366,7 @@ impl StableStorage for ReplicatedStore {
             })
             .sum();
         let time_ns = cost.net_latency_ns + xfer + backoff_ns;
+        self.stats.ack_cycles.fetch_add(1, Ordering::Relaxed);
 
         if acked.len() < self.cfg.w {
             // Roll the failed commit back from the replicas that did take
@@ -503,6 +537,7 @@ impl StableStorage for ReplicatedStore {
                 }
             }
         }
+        self.stats.ack_cycles.fetch_add(1, Ordering::Relaxed);
         if acked < self.cfg.w {
             self.bump_stats(0, total_retries, 0, 1);
             return Err(StorageError::QuorumLost {
@@ -565,6 +600,158 @@ impl StableStorage for ReplicatedStore {
 
     fn replica_manifest(&self, key: &str) -> Option<ReplicaManifest> {
         self.manifests.get(key).cloned()
+    }
+
+    /// Framed batched quorum commit: the whole batch is one wire frame
+    /// (header, then per-object records of `keylen | key | version |
+    /// payloadlen | payload`), written to each replica in one admission /
+    /// retry / acknowledgement cycle — `ack_cycles: 1` regardless of how
+    /// many objects ride in it. A torn write persists a frame *prefix*:
+    /// objects wholly below the tear land intact, the object straddling it
+    /// lands torn (detectable by digest), objects above never reach the
+    /// medium. Quorum is all-or-nothing for the batch: fewer than `w` full
+    /// frames rolls every object back from the replicas that took it.
+    fn store_batch(
+        &mut self,
+        objects: &[(&str, &[u8])],
+        cost: &CostModel,
+    ) -> Result<BatchReceipt, StorageError> {
+        if !self.client_up {
+            return Err(StorageError::Unavailable);
+        }
+        if objects.is_empty() {
+            return Ok(BatchReceipt {
+                objects: 0,
+                bytes: 0,
+                time_ns: 0,
+                ack_cycles: 0,
+            });
+        }
+
+        // Per-object commit versions, probed before any bytes move so the
+        // whole batch either advances each key once or not at all.
+        let versions: Vec<u64> = objects
+            .iter()
+            .map(|(k, _)| self.probe_max_version(k) + 1)
+            .collect();
+
+        // Frame layout offsets: 16-byte frame header, then per-object
+        // records of 20-byte record header + key + payload. Only the
+        // offsets matter here (they decide what a torn write leaves
+        // behind); the payloads themselves are stored per key.
+        const FRAME_HEADER: u64 = 16;
+        const RECORD_HEADER: u64 = 20;
+        let mut payload_at: Vec<(u64, u64)> = Vec::with_capacity(objects.len());
+        let mut off = FRAME_HEADER;
+        for (k, d) in objects {
+            off += RECORD_HEADER + k.len() as u64;
+            payload_at.push((off, off + d.len() as u64));
+            off += d.len() as u64;
+        }
+        let frame_bytes = off;
+
+        // Phase 1 (sequential, replica order): ONE admission + fault-check
+        // + retry/backoff cycle per replica for the entire batch — this is
+        // the amortization over per-object stores.
+        let batch_id = format!("batch/{}+{}", objects[0].0, objects.len());
+        let mut total_retries = 0u64;
+        let mut backoff_ns = 0u64;
+        let cmds: Vec<(usize, WriteCmd)> = (0..self.cfg.n)
+            .map(|i| {
+                let (cmd, r, d) = self.resolve_replica(i, "batch", &batch_id, frame_bytes);
+                total_retries += r;
+                backoff_ns += d;
+                (i, cmd)
+            })
+            .collect();
+
+        // Phase 2 (pool fan-out): pure copies, one replica per work item.
+        let set = self.set.clone();
+        self.pool.par_map_ordered(
+            cmds.clone(),
+            || (),
+            |_, _, (i, cmd)| match cmd {
+                WriteCmd::Full => {
+                    for (j, (k, d)) in objects.iter().enumerate() {
+                        set.node(i).put(k, versions[j], d);
+                    }
+                }
+                WriteCmd::Torn { keep } => {
+                    let keep = keep as u64;
+                    for (j, (k, d)) in objects.iter().enumerate() {
+                        let (ps, pe) = payload_at[j];
+                        let record_start = ps - RECORD_HEADER - k.len() as u64;
+                        if keep >= pe {
+                            set.node(i).put(k, versions[j], d);
+                        } else if keep > record_start {
+                            let kept = keep.saturating_sub(ps) as usize;
+                            set.node(i).put_torn(k, versions[j], d, kept);
+                        }
+                        // Tear below the record start: nothing of this
+                        // object reached the medium.
+                    }
+                }
+                WriteCmd::Skip => {}
+            },
+        );
+
+        let acked: Vec<u32> = cmds
+            .iter()
+            .filter(|(_, c)| matches!(c, WriteCmd::Full))
+            .map(|(i, _)| *i as u32)
+            .collect();
+        let xfer: u64 = cmds
+            .iter()
+            .map(|(_, c)| match c {
+                WriteCmd::Full => self.xfer_ns(frame_bytes as usize, cost),
+                WriteCmd::Torn { keep } => {
+                    self.xfer_ns((*keep as u64).min(frame_bytes) as usize, cost)
+                }
+                WriteCmd::Skip => 0,
+            })
+            .sum();
+        // One network round-trip for the whole frame.
+        let time_ns = cost.net_latency_ns + xfer + backoff_ns;
+        self.stats.ack_cycles.fetch_add(1, Ordering::Relaxed);
+
+        if acked.len() < self.cfg.w {
+            // All-or-nothing: peel every object of the failed batch back
+            // off the replicas that took it.
+            for &i in &acked {
+                for (j, (k, _)) in objects.iter().enumerate() {
+                    self.set.node(i as usize).drop_if_version(k, versions[j]);
+                }
+            }
+            self.bump_stats(0, total_retries, 0, 1);
+            return Err(StorageError::QuorumLost {
+                acked: acked.len() as u32,
+                needed: self.cfg.w as u32,
+            });
+        }
+
+        let mut payload_bytes = 0u64;
+        for (j, (k, d)) in objects.iter().enumerate() {
+            payload_bytes += d.len() as u64;
+            self.manifests.insert(
+                k.to_string(),
+                ReplicaManifest {
+                    key: k.to_string(),
+                    version: versions[j],
+                    digest: fnv1a64(d),
+                    bytes: d.len() as u64,
+                    acked: acked.clone(),
+                    n: self.cfg.n as u32,
+                    w: self.cfg.w as u32,
+                },
+            );
+        }
+        self.bump_stats(objects.len() as u64, total_retries, 0, 0);
+        Ok(BatchReceipt {
+            objects: objects.len() as u64,
+            bytes: payload_bytes,
+            time_ns,
+            ack_cycles: 1,
+        })
     }
 }
 
@@ -728,6 +915,96 @@ mod tests {
         s.on_node_repair();
         assert!(s.available());
         assert_eq!(s.load("k", &cost()).unwrap().0, b"x");
+    }
+
+    #[test]
+    fn batched_commit_amortizes_ack_cycles() {
+        let mut batched = ReplicatedStore::fresh(3, 2);
+        let objects: Vec<(String, Vec<u8>)> = (0..8)
+            .map(|i| (format!("j/pid{i}/seq00000001"), vec![i as u8; 64]))
+            .collect();
+        let refs: Vec<(&str, &[u8])> = objects
+            .iter()
+            .map(|(k, d)| (k.as_str(), d.as_slice()))
+            .collect();
+        let r = batched.store_batch(&refs, &cost()).unwrap();
+        assert_eq!((r.objects, r.ack_cycles), (8, 1));
+        assert_eq!(batched.stats().commits, 8);
+        assert_eq!(batched.stats().ack_cycles, 1);
+        for (k, d) in &objects {
+            assert_eq!(batched.load(k, &cost()).unwrap().0, *d);
+            assert_eq!(batched.replica_manifest(k).unwrap().acked, vec![0, 1, 2]);
+        }
+        // The same commits one-by-one pay one ack cycle per object.
+        let mut looped = ReplicatedStore::fresh(3, 2);
+        for (k, d) in &objects {
+            looped.store(k, d, &cost()).unwrap();
+        }
+        assert_eq!(looped.stats().ack_cycles, 8);
+    }
+
+    #[test]
+    fn batch_quorum_loss_rolls_back_every_object() {
+        let mut s = ReplicatedStore::fresh(3, 2);
+        s.replica_set().node(1).fail();
+        s.replica_set().node(2).fail();
+        let err = s
+            .store_batch(&[("a", b"aa".as_slice()), ("b", b"bb".as_slice())], &cost())
+            .unwrap_err();
+        assert_eq!(err, StorageError::QuorumLost { acked: 1, needed: 2 });
+        s.replica_set().node(1).repair();
+        s.replica_set().node(2).repair();
+        for k in ["a", "b"] {
+            assert!(
+                matches!(s.load(k, &cost()), Err(StorageError::NotFound(_))),
+                "object {k} of the failed batch must not survive"
+            );
+        }
+        assert_eq!(s.stats().quorum_losses, 1);
+    }
+
+    #[test]
+    fn torn_batch_frame_persists_a_detectable_prefix() {
+        // Frame layout: 16B header, then "a"'s record (payload at 37..41)
+        // and "b"'s (payload at 62..66). Tearing at byte 64 leaves "a"
+        // intact on r0 and "b" torn mid-payload.
+        let h = FaultHandle::armed("replica/r0/batch@1", Fault::TornWrite { keep_bytes: 64 });
+        let mut s = ReplicatedStore::fresh(3, 2).with_faults(h);
+        let r = s
+            .store_batch(
+                &[("a", b"aaaa".as_slice()), ("b", b"bbbb".as_slice())],
+                &cost(),
+            )
+            .unwrap();
+        assert_eq!(r.objects, 2);
+        // r0 died mid-write; the quorum committed on r1+r2.
+        assert_eq!(s.replica_manifest("a").unwrap().acked, vec![1, 2]);
+        assert!(matches!(s.replica_set().node(0).probe("a"), Probe::Valid(_)));
+        assert_eq!(
+            s.replica_set().node(0).probe("b"),
+            Probe::Torn { version: 1 },
+            "the object straddling the tear must be self-identifying, not silent"
+        );
+        // Reads still see the committed values (and repair r0 once it heals).
+        s.replica_set().node(0).repair();
+        assert_eq!(s.load("a", &cost()).unwrap().0, b"aaaa");
+        assert_eq!(s.load("b", &cost()).unwrap().0, b"bbbb");
+        assert!(matches!(s.replica_set().node(0).probe("b"), Probe::Valid(_)));
+    }
+
+    #[test]
+    fn batch_respects_site_prefix() {
+        let h = FaultHandle::recording();
+        let mut s = ReplicatedStore::fresh(3, 2)
+            .with_faults(h.clone())
+            .with_site_prefix("stripe4");
+        s.store_batch(&[("k", b"x".as_slice())], &cost()).unwrap();
+        let sites = h.sites();
+        assert!(
+            sites.iter().any(|s| s.name.starts_with("stripe4/r0/batch")),
+            "expected stripe-prefixed batch sites, got {sites:?}"
+        );
+        assert!(sites.iter().all(|s| !s.name.starts_with("replica/")));
     }
 
     #[test]

@@ -130,6 +130,20 @@ pub struct StoreReceipt {
     pub time_ns: u64,
 }
 
+/// Receipt for a committed multi-object batch ([`StableStorage::store_batch`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchReceipt {
+    pub objects: u64,
+    pub bytes: u64,
+    /// Virtual time the whole commit took (the caller charges it).
+    pub time_ns: u64,
+    /// Acknowledgement round-trips the commit consumed: a per-object loop
+    /// pays one per object, a framed batch commit pays one per batch (per
+    /// stripe, on a striped pool). This is the quantity batching exists to
+    /// shrink, so receipts carry it for the scale reports to compare.
+    pub ack_cycles: u64,
+}
+
 /// Where a replicated commit landed: which replicas acknowledged, under
 /// what quorum configuration, and the digest/version that identify the
 /// committed frame. Non-replicated backends never produce one.
@@ -187,6 +201,47 @@ pub trait StableStorage: Send {
     /// this backend replicates. Single-copy backends return `None`.
     fn replica_manifest(&self, _key: &str) -> Option<ReplicaManifest> {
         None
+    }
+
+    /// Commit a batch of objects as one transaction: either every object
+    /// lands or none does (already-stored objects are rolled back
+    /// best-effort on a later failure, and the error is returned).
+    ///
+    /// The default loops [`StableStorage::store`] — one acknowledgement
+    /// cycle per object. Backends with a cheaper group-commit path (the
+    /// quorum-replicated store frames the whole batch into one
+    /// admission/ack cycle per replica) override this; callers that commit
+    /// a round's worth of images at once get the amortization without
+    /// knowing which backend is underneath.
+    fn store_batch(
+        &mut self,
+        objects: &[(&str, &[u8])],
+        cost: &CostModel,
+    ) -> Result<BatchReceipt, StorageError> {
+        let mut bytes = 0u64;
+        let mut time_ns = 0u64;
+        let mut stored: Vec<&str> = Vec::new();
+        for (key, data) in objects {
+            match self.store(key, data, cost) {
+                Ok(r) => {
+                    bytes += r.bytes;
+                    time_ns += r.time_ns;
+                    stored.push(key);
+                }
+                Err(e) => {
+                    for key in stored {
+                        let _ = self.delete(key);
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(BatchReceipt {
+            objects: objects.len() as u64,
+            bytes,
+            time_ns,
+            ack_cycles: objects.len() as u64,
+        })
     }
 }
 

@@ -9,7 +9,8 @@
 
 use ckpt_core::crashpoint::{
     all_configs, run_config, CellOutcome, MatrixReport, BACKENDS, DEDUP_BACKENDS, DEDUP_MECH,
-    HIBERNATE_BACKENDS, REPLICATED_BACKENDS, REPLICATION_MECH, TRAIT_MECHANISMS,
+    HIBERNATE_BACKENDS, MATRIX_CELLS, REPLICATED_BACKENDS, REPLICATION_MECH, STRIPED_BACKENDS,
+    STRIPED_MECH, TRAIT_MECHANISMS,
 };
 
 #[test]
@@ -138,6 +139,41 @@ fn full_crash_matrix_has_no_violations_and_no_panics() {
             && c.site.starts_with("replica/r")),
         "per-replica sites never armed under the dedup decorator"
     );
+    // Shard-commit tier: single-object stores on the striped pool travel
+    // the framed batch-commit path, so every per-stripe
+    // `stripe<j>/r<i>/batch` admission was recorded and armed concretely
+    // with every applicable fault kind. Zero violations (asserted
+    // globally above) means a fault on one stripe never corrupted keys
+    // on another, and a torn batch frame was always detected or rolled
+    // past — never silently restarted wrong.
+    for backend in STRIPED_BACKENDS {
+        assert!(
+            report
+                .cells
+                .iter()
+                .any(|c| c.mechanism == STRIPED_MECH && c.backend == backend),
+            "no cells for {STRIPED_MECH}/{backend}"
+        );
+        // The scenario checkpoints one lineage, which routes to exactly
+        // one stripe by design (whole chains live together); that
+        // stripe's per-replica batch sites must have been armed
+        // concretely. Cross-stripe isolation under damage is exercised by
+        // the stripe property tests, which spread many lineages.
+        assert!(
+            report.cells.iter().any(|c| c.backend == backend
+                && c.site.starts_with("stripe")
+                && c.site.contains("/batch")
+                && !matches!(c.outcome, CellOutcome::Skipped { .. })),
+            "per-stripe batch-commit sites never armed concretely on {backend}"
+        );
+        assert!(
+            report
+                .cells
+                .iter()
+                .any(|c| c.backend == backend && c.site.starts_with("storage/striped")),
+            "client-side fault sites never armed on {backend}"
+        );
+    }
     for fault in ["fail-stop", "transient", "torn-write"] {
         assert!(
             report.cells.iter().any(|c| c.fault == fault
@@ -170,9 +206,20 @@ fn full_crash_matrix_has_no_violations_and_no_panics() {
     assert!(report.cells.iter().any(|c| c.site.starts_with("chain/seg")));
     assert!(report.cells.iter().any(|c| c.site.contains("restart/restore")));
 
-    println!(
-        "crash matrix: {} cells — {} restarted, {} detected, {} skipped, {} violations",
+    // The matrix is deterministic, so its size is a fixed artifact of the
+    // instrumentation. `MATRIX_CELLS` is the single source of truth the
+    // docs cite; a new site, backend, or mechanism must repin it here
+    // rather than letting the documented number drift.
+    assert_eq!(
         report.cells.len(),
+        MATRIX_CELLS,
+        "matrix size changed: repin crashpoint::MATRIX_CELLS and the \
+         numbers quoted in EXPERIMENTS.md"
+    );
+
+    println!(
+        "crash matrix: MATRIX_CELLS = {} — {} restarted, {} detected, {} skipped, {} violations",
+        MATRIX_CELLS,
         report.restarted(),
         report.detected(),
         report.skipped(),
