@@ -1,0 +1,97 @@
+//! Golden regression pin for `report c15`, the live-migration report.
+//!
+//! Every number in the report comes off the deterministic simulator:
+//! guests are seeded, wire/memcpy costs are the fixed circa-2005 model,
+//! pre-copy rounds and the auto-converge throttle ladder are pure
+//! functions of the dirty sets, and post-copy demand faults are served
+//! in ascending page order — so the full output pins byte-for-byte at
+//! any pool width. A moved hash means round accounting, the cutover
+//! policy, the throttle ladder, or the demand/prefetch split changed
+//! observable behavior and must be reviewed, not waved through.
+//!
+//! If an *intentional* change lands, regenerate: hash
+//! `./target/release/report c15`'s stdout with the FNV-1a 64 below and
+//! update both constants in the same commit.
+
+use std::process::Command;
+
+const GOLDEN_FNV1A64: u64 = 0xd5af_4dec_79d6_94ba;
+const GOLDEN_BYTES: usize = 3257;
+
+/// Worst tolerated post-copy downtime across the zoo: the minimal-image
+/// window must stay an order of magnitude under the ~423 us freeze-copy
+/// baseline (it measures 27.9 us today).
+const POSTCOPY_DOWNTIME_CEILING_US: f64 = 100.0;
+
+fn fnv1a64(data: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+#[test]
+fn report_c15_output_matches_pinned_baseline() {
+    // Exactly what the report binary prints: c15_livemig() + "\n".
+    let out = format!("{}\n", ckpt_bench::c15_livemig());
+    assert_eq!(
+        out.len(),
+        GOLDEN_BYTES,
+        "report c15 output length changed — migration report no longer baseline"
+    );
+    assert_eq!(
+        fnv1a64(out.as_bytes()),
+        GOLDEN_FNV1A64,
+        "report c15 output bytes changed — migration report no longer baseline"
+    );
+}
+
+#[test]
+fn report_c15_is_pool_width_invariant() {
+    // The determinism discipline's observable contract: the report's
+    // bytes cannot depend on how many workers the pool runs. Each width
+    // runs in its own process because the global pool latches its size
+    // once.
+    let mut outputs = Vec::new();
+    for width in ["1", "4", "8"] {
+        let out = Command::new(env!("CARGO_BIN_EXE_report"))
+            .env("CKPT_PAR_WORKERS", width)
+            .arg("c15")
+            .output()
+            .expect("run report c15");
+        assert!(out.status.success(), "report c15 failed at width {width}");
+        outputs.push(out.stdout);
+    }
+    assert_eq!(outputs[0], outputs[1], "width 1 vs 4 outputs differ");
+    assert_eq!(outputs[1], outputs[2], "width 4 vs 8 outputs differ");
+    assert_eq!(fnv1a64(&outputs[0]), GOLDEN_FNV1A64, "subprocess output off baseline");
+}
+
+#[test]
+fn c15_gates_hold_and_downtime_stays_under_ceiling() {
+    // Acceptance: both live strategies beat freeze-copy on every guest at
+    // every dirty rate, pre-copy's round count adapts to the dirty rate,
+    // and the slowest guest's post-copy downtime stays under the ceiling
+    // CI enforces.
+    let out = ckpt_bench::c15_livemig();
+    for gate in [
+        "gate: pre-copy beats freeze-copy downtime on every guest at every dirty rate: true",
+        "gate: post-copy beats freeze-copy downtime on every guest at every dirty rate: true",
+        "gate: pre-copy rounds adapt to the dirty rate (monotone, growing): true",
+    ] {
+        assert!(out.contains(gate), "missing or failed gate: {gate}\n{out}");
+    }
+    let worst_us: f64 = out
+        .lines()
+        .find(|l| l.starts_with("worst-case post-copy downtime:"))
+        .and_then(|l| l.strip_prefix("worst-case post-copy downtime:"))
+        .map(|v| v.trim().trim_end_matches(" us"))
+        .and_then(|v| v.parse().ok())
+        .expect("post-copy downtime summary line present in us");
+    assert!(
+        worst_us < POSTCOPY_DOWNTIME_CEILING_US,
+        "slowest-guest post-copy downtime {worst_us} us exceeds {POSTCOPY_DOWNTIME_CEILING_US} us"
+    );
+}

@@ -420,6 +420,56 @@ mod tests {
     }
 
     #[test]
+    fn recovery_after_node_loss_with_live_migration_rebalance() {
+        // Node-loss recovery followed by the live-migration replacement
+        // route: once the lost node is repaired, a rank is moved back to
+        // it by iterative pre-copy — no rollback, no job restart — and
+        // the job still completes with the rank table consistent.
+        let (mut c, mut job, mut coord) = setup(3, 6);
+        for _ in 0..3 {
+            job.superstep(&mut c).unwrap();
+        }
+        coord.checkpoint(&mut c, &job).unwrap();
+        c.inject_failure(NodeId(1));
+        assert!(matches!(
+            job.superstep(&mut c),
+            Err(crate::mpi::JobInterrupt::NodeLost(_))
+        ));
+        coord.restart(&mut c, &mut job).unwrap();
+        assert_eq!(job.completed_supersteps(), 3);
+        // The failed node comes back (FailureConfig::none has zero repair
+        // delay, so the next advance repairs it) — empty.
+        c.advance(1_000_000);
+        assert!(c.node(NodeId(1)).alive());
+        assert!(job.ranks.iter().all(|r| r.node != NodeId(1)));
+        // Repopulate it by live-migrating one rank back.
+        let victim = job
+            .ranks
+            .iter()
+            .position(|r| r.node != NodeId(1))
+            .expect("some rank lives elsewhere");
+        let moved_rank = job.ranks[victim].rank;
+        let rep = crate::livemig::rebalance_rank_live(
+            &mut c,
+            &mut job,
+            victim,
+            NodeId(1),
+            &crate::livemig::LiveMigConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(job.ranks[victim].node, NodeId(1));
+        assert_eq!(job.ranks[victim].pid, rep.new_pid);
+        assert_eq!(job.ranks[victim].rank, moved_rank);
+        // Live migration lost nothing: still at superstep 3, and the job
+        // runs to completion with the migrated rank participating.
+        assert_eq!(job.completed_supersteps(), 3);
+        for _ in 0..3 {
+            job.superstep(&mut c).unwrap();
+        }
+        assert_eq!(job.completed_supersteps(), 6);
+    }
+
+    #[test]
     fn recovered_run_matches_failure_free_run() {
         // The gold standard: states after recovery + N supersteps must
         // equal an uninterrupted run's states at the same superstep.

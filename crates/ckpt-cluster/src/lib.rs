@@ -15,6 +15,9 @@
 //!   with batched quorum commits, a root two-phase global cut, and the
 //!   1k–10k node scale model;
 //! * [`migrate`] — process migration with or without pod virtualization;
+//! * [`livemig`] — iterative pre-copy / post-copy live migration with a
+//!   dirty-rate-adaptive cutover, plus its crash-matrix tier
+//!   ([`migmatrix`]);
 //! * [`gang`] — gang scheduling via safe-preemption checkpoints;
 //! * [`analytics`] — mechanistic job runs under failures, and an
 //!   event-level Monte-Carlo model that scales the utilization analysis to
@@ -25,6 +28,8 @@ pub mod batch;
 pub mod cluster;
 pub mod coordinator;
 pub mod gang;
+pub mod livemig;
+pub mod migmatrix;
 pub mod migrate;
 pub mod mpi;
 pub mod node;
@@ -35,6 +40,11 @@ pub use batch::{BatchManager, BatchRoundReport, ManagedJob};
 pub use cluster::{Cluster, FailureConfig, FailureEvent};
 pub use coordinator::{CoordOutcome, Coordinator};
 pub use gang::{Gang, GangScheduler};
+pub use livemig::{
+    migrate_postcopy, migrate_precopy, rebalance_rank_live, LiveMigConfig, PostCopyReport,
+    PreCopyReport, RoundStat,
+};
+pub use migmatrix::{migration_matrix_cells, run_migration_tier, MIGRATION_MECHS};
 pub use migrate::{migrate, MigrationMode, MigrationReport};
 pub use mpi::{JobInterrupt, MpiJob, RankRef};
 pub use node::{Node, NodeId};

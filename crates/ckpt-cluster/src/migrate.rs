@@ -24,6 +24,12 @@ pub enum MigrationMode {
     FreshPid,
     /// Full pod virtualization — survives both pid and path conflicts.
     Podded,
+    /// Iterative pre-copy live migration ([`crate::livemig`]): dirty-set
+    /// transfer rounds while the guest runs, dirty-rate-adaptive cutover.
+    PreCopy,
+    /// Post-copy live migration ([`crate::livemig`]): resume on the
+    /// target immediately, demand-fault the residual pages.
+    PostCopy,
 }
 
 /// Result of a completed migration.
@@ -49,8 +55,36 @@ pub fn migrate(
         return Err(SimError::Usage("source and target are the same node".into()));
     }
     let t0 = cluster.now();
+    // The live strategies delegate to `livemig` with default tuning and
+    // report through the same struct.
+    match mode {
+        MigrationMode::PreCopy => {
+            let cfg = crate::livemig::LiveMigConfig::default();
+            let r = crate::livemig::migrate_precopy(cluster, from, pid, to, &cfg)?;
+            return Ok(MigrationReport {
+                from,
+                to,
+                new_pid: r.new_pid,
+                bytes_moved: r.bytes_total(),
+                total_ns: cluster.now().max(t0) - t0,
+            });
+        }
+        MigrationMode::PostCopy => {
+            let cfg = crate::livemig::LiveMigConfig::default();
+            let r = crate::livemig::migrate_postcopy(cluster, from, pid, to, &cfg)?;
+            return Ok(MigrationReport {
+                from,
+                to,
+                new_pid: r.new_pid,
+                bytes_moved: r.bytes_minimal
+                    + r.residual_moved() * simos::cost::PAGE_SIZE,
+                total_ns: cluster.now().max(t0) - t0,
+            });
+        }
+        _ => {}
+    }
     // Source: freeze + capture + send.
-    let img = {
+    let (img, faults) = {
         let k = cluster
             .node(from)
             .kernel()
@@ -63,7 +97,7 @@ pub fn migrate(
         let bytes = ckpt_image::encode(&img).len() as u64;
         let t = k.cost.net_latency_ns + (bytes as f64 * k.cost.net_ns_per_byte).round() as u64;
         k.charge(t);
-        img
+        (img, k.faults.clone())
     };
     let bytes_moved = ckpt_image::encode(&img).len() as u64;
     // Target: receive + restore.
@@ -87,8 +121,30 @@ pub fn migrate(
                 })?;
                 pod.restore(k, &img)?
             }
+            // Dispatched to `livemig` before the freeze above.
+            MigrationMode::PreCopy | MigrationMode::PostCopy => unreachable!(),
         }
     };
+    // Teardown handshake: the target's ACK and the source's exit cross
+    // the wire; an armed `migrate/transfer` fault models the source dying
+    // in this window, after the target already owns the process.
+    match faults.check("migrate/transfer", bytes_moved) {
+        None => {}
+        Some(simos::faultpoint::Fault::Transient) => {
+            // One retransmission of the ACK frame.
+            if let Some(k) = cluster.node(from).kernel() {
+                let t = k.cost.net_latency_ns
+                    + (bytes_moved as f64 * k.cost.net_ns_per_byte).round() as u64;
+                k.charge(t);
+            }
+        }
+        Some(f) => {
+            if matches!(f, simos::faultpoint::Fault::TornWrite { .. }) {
+                faults.set_crashed();
+            }
+            cluster.inject_failure(from);
+        }
+    }
     // Source: the process has left the building.
     {
         let k = cluster
@@ -218,6 +274,43 @@ mod tests {
         let (mut c, pid) = setup();
         c.inject_failure(NodeId(1));
         assert!(migrate(&mut c, NodeId(0), pid, NodeId(1), MigrationMode::FreshPid, None).is_err());
+    }
+
+    #[test]
+    fn source_loss_mid_migration_is_reported() {
+        // The source dies in the teardown window, after the target has
+        // restored: migrate() must surface the mid-migration loss rather
+        // than pretend the teardown happened.
+        let (mut c, pid) = setup();
+        let faults =
+            simos::faultpoint::FaultHandle::armed("migrate/transfer@1", simos::faultpoint::Fault::FailStop);
+        c.node(NodeId(0)).kernel().unwrap().set_faults(faults);
+        let err = migrate(&mut c, NodeId(0), pid, NodeId(1), MigrationMode::FreshPid, None)
+            .expect_err("armed teardown fault must surface");
+        assert!(
+            err.to_string().contains("went down mid-migration"),
+            "unexpected error: {err}"
+        );
+        assert!(!c.node(NodeId(0)).alive());
+        // The target still owns a runnable copy: migration completed from
+        // its point of view before the source died.
+        let k = c.node(NodeId(1)).kernel().unwrap();
+        assert_eq!(k.pids().len(), 1);
+    }
+
+    #[test]
+    fn live_modes_route_through_livemig() {
+        let (mut c, pid) = setup();
+        let r = migrate(&mut c, NodeId(0), pid, NodeId(1), MigrationMode::PreCopy, None).unwrap();
+        assert!(r.bytes_moved > 0);
+        let k = c.node(NodeId(1)).kernel().unwrap();
+        assert!(k.process(r.new_pid).is_some());
+
+        let (mut c, pid) = setup();
+        let r = migrate(&mut c, NodeId(0), pid, NodeId(1), MigrationMode::PostCopy, None).unwrap();
+        assert!(r.bytes_moved > 0);
+        let k = c.node(NodeId(1)).kernel().unwrap();
+        assert!(k.process(r.new_pid).is_some());
     }
 
     #[test]

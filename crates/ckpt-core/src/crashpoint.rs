@@ -104,13 +104,14 @@ pub const STRIPED_BACKENDS: [&str; 1] = ["striped(2x3,2)"];
 /// The mechanism family driven over the striped backends.
 pub const STRIPED_MECH: &str = "syscall";
 
-/// Total cell count of the full matrix. The matrix is deterministic (the
-/// site list comes from a fault-free recording pass per column, no
-/// sampling), so the count is a fixed artifact of the instrumentation:
-/// any new site, backend, or mechanism changes it, and the driver test
-/// asserts and prints this constant so the documented number can never
-/// drift from the code again.
-pub const MATRIX_CELLS: usize = 1845;
+/// Total cell count of the full matrix, including the live-migration
+/// tier contributed by `ckpt-cluster::migmatrix` (the driver test sweeps
+/// both). The matrix is deterministic (the site list comes from a
+/// fault-free recording pass per column, no sampling), so the count is a
+/// fixed artifact of the instrumentation: any new site, backend, or
+/// mechanism changes it, and the driver test asserts and prints this
+/// constant so the documented number can never drift from the code again.
+pub const MATRIX_CELLS: usize = 1920;
 
 /// Parse `"replicated(N,w)"` into its quorum parameters.
 fn replicated_params(which: &str) -> Option<(usize, usize)> {
@@ -351,8 +352,10 @@ fn reference_digest(params: &AppParams, target_step: u64) -> Result<u64, String>
 }
 
 /// Verify a restored process against the deterministic replay. Returns the
-/// restored step count on success.
-fn verify_restored(k: &Kernel, pid: Pid, params: &AppParams) -> Result<u64, String> {
+/// restored step count on success. Public for the same reason as
+/// [`faults_for`]: external matrix tiers must use the identical
+/// bit-for-bit verification, not a weaker local copy.
+pub fn verify_restored(k: &Kernel, pid: Pid, params: &AppParams) -> Result<u64, String> {
     let p = k
         .process(pid)
         .ok_or_else(|| "restored process missing".to_string())?;
@@ -557,8 +560,10 @@ fn record_sites(cfg: MatrixConfig) -> Vec<SiteRecord> {
 }
 
 /// The three fault kinds for one recorded site; a torn write only applies
-/// where a byte stream is actually written.
-fn faults_for(site: &SiteRecord) -> Vec<(&'static str, Option<Fault>)> {
+/// where a byte stream is actually written. Public so satellite tiers
+/// living in other crates (the live-migration tier in
+/// `ckpt-cluster::migmatrix`) sweep the exact same fault kinds.
+pub fn faults_for(site: &SiteRecord) -> Vec<(&'static str, Option<Fault>)> {
     let torn = if site.bytes >= 2 {
         Some(Fault::TornWrite {
             keep_bytes: site.bytes / 2,

@@ -245,12 +245,6 @@ pub trait StableStorage: Send {
     }
 }
 
-/// Canonical object key for a checkpoint: `job/pid/seq`.
-#[deprecated(since = "0.2.0", note = "use the typed `ckpt_storage::ImageKey` instead")]
-pub fn image_key(job: &str, pid: u32, seq: u64) -> String {
-    crate::key::ImageKey::new(job, pid, seq).to_string()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;

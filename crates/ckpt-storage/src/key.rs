@@ -4,7 +4,8 @@
 //! (`job/pid<pid>/seq<seq:08>`), content-addressed chunks
 //! (`cas/<digest:016x>`), and free-form auxiliary objects. Earlier
 //! revisions passed all of them around as ad-hoc strings built by
-//! `image_key()` and parsed by hand at every consumer; [`ImageKey`] and
+//! a (since removed) `image_key()` helper and parsed by hand at every
+//! consumer; [`ImageKey`] and
 //! [`ObjectKey`] replace that with one typed namespace that round-trips
 //! through `Display`/`FromStr` and orders images by `(job, pid, seq)` —
 //! so lexicographic order of the rendered key equals numeric order of
@@ -178,6 +179,22 @@ mod tests {
         let s = k.to_string();
         assert_eq!(s, "bench/app/pid7/seq00000042");
         assert_eq!(s.parse::<ImageKey>().unwrap(), k);
+    }
+
+    #[test]
+    fn stringly_image_key_shim_is_removed() {
+        // PR 6 left a deprecated `backend::image_key(job, pid, seq) ->
+        // String` shim for stragglers; every caller now builds typed keys,
+        // so the shim is gone. This test documents the removal: the typed
+        // constructor renders the exact string the shim used to return, so
+        // any out-of-tree caller migrates by swapping the call site —
+        // `image_key(j, p, s)` becomes `ImageKey::new(j, p, s).to_string()`
+        // — with zero change to what lands on the storage medium.
+        assert_eq!(
+            ImageKey::new("job", 3, 1).to_string(),
+            "job/pid3/seq00000001",
+            "the shim's rendering is preserved by the typed path"
+        );
     }
 
     #[test]

@@ -16,8 +16,6 @@ pub mod inject;
 pub mod key;
 pub mod media;
 
-#[allow(deprecated)]
-pub use backend::image_key;
 pub use backend::{BatchReceipt, ReplicaManifest, StableStorage, StorageClass, StorageError, StoreReceipt};
 pub use key::{ImageKey, ObjectKey, ParseKeyError};
 pub use images::{

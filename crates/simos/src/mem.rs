@@ -177,6 +177,12 @@ pub struct MemStats {
     /// Full software-TLB flushes (mm switch, mprotect re-arm, unmap,
     /// restore — the paper's invalidation events).
     pub tlb_flushes: u64,
+    /// Dirty-rate samples taken by live migration's per-round observer
+    /// (see [`AddressSpace::sample_dirty`]).
+    pub dirty_samples: u64,
+    /// Total dirty pages seen across those samples (sum, so the mean
+    /// per-round dirty set is `dirty_pages_sampled / dirty_samples`).
+    pub dirty_pages_sampled: u64,
 }
 
 /// Number of entries in the direct-mapped software TLB.
@@ -756,6 +762,17 @@ impl AddressSpace {
                 n
             }
         }
+    }
+
+    /// Observe the current dirty set without disturbing it: live
+    /// migration's per-round dirty-rate sampler. Returns the dirty-page
+    /// count and folds it into [`MemStats::dirty_samples`] /
+    /// [`MemStats::dirty_pages_sampled`].
+    pub fn sample_dirty(&mut self) -> u64 {
+        let n = self.dirty_pages.len() as u64;
+        self.stats.dirty_samples += 1;
+        self.stats.dirty_pages_sampled += n;
+        n
     }
 
     /// Handle a tracked write fault on `pn`: record it dirty and restore

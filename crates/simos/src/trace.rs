@@ -165,6 +165,15 @@ pub enum ClusterEvent {
     NodeRepaired { node: u32 },
     /// A process moved between nodes: (from, to, bytes moved).
     Migration { from: u32, to: u32, bytes: u64 },
+    /// One iterative pre-copy round completed: pages found dirty this
+    /// round, bytes shipped, and the sampled dirty rate (pages/ms of guest
+    /// run time) the cutover policy saw when deciding to keep iterating.
+    MigrationRound {
+        round: u32,
+        dirty_pages: u64,
+        bytes: u64,
+        dirty_rate_ppms: u64,
+    },
 }
 
 /// One recorded phase event (the ordered log the tests assert on).

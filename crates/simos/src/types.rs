@@ -84,6 +84,14 @@ pub enum SimError {
     /// An armed [`crate::faultpoint`] site fired: the injected failure
     /// (fail-stop, torn write, transient) interrupted the operation.
     InjectedFault { site: String },
+    /// Post-copy live migration lost its source node before the residual
+    /// page set drained: the pages still on the source are unrecoverable
+    /// and the half-populated target must be discarded.
+    SourceLostMidMigration { residual_pages: u64 },
+    /// Iterative pre-copy could not converge: the guest dirtied pages
+    /// faster than the link drained them for the whole round budget, and
+    /// auto-converge throttling was not enabled (or was exhausted).
+    CutoverDiverged { rounds: u32, residual_pages: u64 },
 }
 
 impl fmt::Display for SimError {
@@ -105,6 +113,21 @@ impl fmt::Display for SimError {
             SimError::Timeout(what) => write!(f, "timeout waiting for {what}"),
             SimError::InjectedFault { site } => {
                 write!(f, "injected fault fired at {site}")
+            }
+            SimError::SourceLostMidMigration { residual_pages } => {
+                write!(
+                    f,
+                    "migration source lost with {residual_pages} residual pages undrained"
+                )
+            }
+            SimError::CutoverDiverged {
+                rounds,
+                residual_pages,
+            } => {
+                write!(
+                    f,
+                    "pre-copy diverged after {rounds} rounds ({residual_pages} pages still dirty)"
+                )
             }
         }
     }

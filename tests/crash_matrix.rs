@@ -7,6 +7,7 @@
 //! fault-free recording pass per column, so every instrumented site is
 //! swept. Skipped cells (inapplicable fault kinds) are logged, not hidden.
 
+use ckpt_cluster::migmatrix::{migration_matrix_cells, MIGRATION_BACKEND, MIGRATION_MECHS};
 use ckpt_core::crashpoint::{
     all_configs, run_config, CellOutcome, MatrixReport, BACKENDS, DEDUP_BACKENDS, DEDUP_MECH,
     HIBERNATE_BACKENDS, MATRIX_CELLS, REPLICATED_BACKENDS, REPLICATION_MECH, STRIPED_BACKENDS,
@@ -23,6 +24,16 @@ fn full_crash_matrix_has_no_violations_and_no_panics() {
             "{}/{}: recording pass enumerated no fault sites",
             cfg.mechanism,
             cfg.backend
+        );
+        report.cells.extend(cells);
+    }
+    // The live-migration tier: the migration path itself swept with the
+    // same site-enumeration + arm-every-fault-kind discipline.
+    for mech in MIGRATION_MECHS {
+        let cells = migration_matrix_cells(mech);
+        assert!(
+            !cells.is_empty(),
+            "{mech}: recording pass enumerated no fault sites"
         );
         report.cells.extend(cells);
     }
@@ -172,6 +183,50 @@ fn full_crash_matrix_has_no_violations_and_no_panics() {
                 .iter()
                 .any(|c| c.backend == backend && c.site.starts_with("storage/striped")),
             "client-side fault sites never armed on {backend}"
+        );
+    }
+    // Migration tier: both live strategies swept their cutover plus their
+    // strategy-specific sites (pre-copy transfer rounds, post-copy demand
+    // faults) with every fault kind, and the tier shows both terminal
+    // classes — zero-loss survival (clean/transient) and fallback restart
+    // from the durable baseline (source lost mid-migration). Zero
+    // violations is asserted globally above: no cell may ever resume a
+    // guest whose memory differs from the deterministic replay.
+    for mech in MIGRATION_MECHS {
+        let tier: Vec<_> = report
+            .cells
+            .iter()
+            .filter(|c| c.mechanism == mech && c.backend == MIGRATION_BACKEND)
+            .collect();
+        assert!(!tier.is_empty(), "no cells for {mech}/{MIGRATION_BACKEND}");
+        assert!(
+            tier.iter().any(|c| c.site.starts_with("livemig/cutover")),
+            "{mech}: cutover site never armed"
+        );
+        let body_site = if mech == "livemig-precopy" {
+            "livemig/round"
+        } else {
+            "livemig/demand-fault"
+        };
+        assert!(
+            tier.iter().any(|c| c.site.starts_with(body_site)),
+            "{mech}: {body_site} sites never armed"
+        );
+        for fault in ["fail-stop", "transient", "torn-write"] {
+            assert!(
+                tier.iter().any(|c| c.fault == fault),
+                "{mech}: fault kind {fault} missing"
+            );
+        }
+        assert!(
+            tier.iter()
+                .any(|c| matches!(c.outcome, CellOutcome::Restarted { lost_steps: 0 })),
+            "{mech}: no cell ever survived with zero loss"
+        );
+        assert!(
+            tier.iter()
+                .any(|c| matches!(c.outcome, CellOutcome::Restarted { lost_steps } if lost_steps > 0)),
+            "{mech}: no cell ever exercised the baseline fallback"
         );
     }
     for fault in ["fail-stop", "transient", "torn-write"] {
