@@ -74,6 +74,24 @@ awk -v d="$POST_DT" 'BEGIN { exit !(d < 100.0) }' || {
     exit 1
 }
 
+echo '== erasure gate: shard-damage properties + pinned report + commit-byte floor =='
+# The erasure-coded tier gets its own named gate: adversarial per-object
+# shard damage (random drop/corrupt mixes on both geometries) must read
+# byte-identical within the m-loss tolerance — with every victim shard
+# repaired digest-valid — and refuse typed-TooManyShardsLost beyond it,
+# never cross-stripe bleed; the `report c16` output is FNV-pinned and
+# pool-width-invariant by the golden test; and the coded commit path
+# must keep the bandwidth win it exists for — RS(4,2) at or under 0.55x
+# the replica-ingested bytes of replication(3,2) on identical lineages.
+cargo test -q -p ckpt-restart --test erasure_properties
+cargo test -q -p ckpt-bench --test golden_c16
+EC_RATIO=$(./target/release/report c16 | awk -F': ' '/gate: rs\(4,2\) commit bytes vs replicated\(3,2\)/ {print $3}' | tr -d 'x')
+echo "rs(4,2) commit bytes vs replicated(3,2): ${EC_RATIO}x (floor 0.55x)"
+awk -v r="$EC_RATIO" 'BEGIN { exit !(r <= 0.55) }' || {
+    echo "FAIL: rs(4,2) commit bytes ${EC_RATIO}x > 0.55x of replication(3,2) — coding no longer pays for itself"
+    exit 1
+}
+
 echo '== cargo clippy -- -D warnings =='
 cargo clippy --workspace --all-targets -- -D warnings
 
@@ -131,6 +149,7 @@ awk -v w="$TOTAL_WALL" -v c="$TOTAL_CEILING" 'BEGIN { exit !(w < c) }' || {
             c13_dedup)                   echo 0.124 ;;
             c14_shard)                   echo 0.516 ;;
             c15_livemig)                 echo 0.815 ;;
+            c16_erasure)                 echo 0.178 ;;
             *)                           echo 0.000 ;;
         esac
     }

@@ -40,8 +40,8 @@ fn main() {
     let timed = args.iter().any(|a| a == "--timings");
     let out = match which {
         "list" => {
-            println!("experiments: table1 figure1 c1 c2 c3 c3b c4 c5 c6 c7a c7b c8 c9 c10 c11 c12 c13 c14 c15 trace timings all");
-            println!("(c11 crash matrix, c12 replication, c13 dedup, c14 shard, c15 livemig are standalone — not part of `all`)");
+            println!("experiments: table1 figure1 c1 c2 c3 c3b c4 c5 c6 c7a c7b c8 c9 c10 c11 c12 c13 c14 c15 c16 trace timings all");
+            println!("(c11 crash matrix, c12 replication, c13 dedup, c14 shard, c15 livemig, c16 erasure are standalone — not part of `all`)");
             return;
         }
         "table1" | "t1" => bench::t1_table(),
@@ -63,6 +63,7 @@ fn main() {
         "c13" | "dedup" => bench::c13_dedup(),
         "c14" | "shard" => bench::c14_shard(),
         "c15" | "livemig" => bench::c15_livemig(),
+        "c16" | "erasure" => bench::c16_erasure(),
         "trace" => bench::trace_breakdown(),
         "timings" => match bench::run_timings() {
             Ok(table) => table,

@@ -1197,6 +1197,7 @@ pub const TIMED_STANDALONE: &[(&str, fn() -> String)] = &[
     ("c13_dedup", c13_dedup),
     ("c14_shard", c14_shard),
     ("c15_livemig", c15_livemig),
+    ("c16_erasure", c16_erasure),
 ];
 
 // ---------------------------------------------------------------------
@@ -1878,6 +1879,245 @@ pub fn c15_livemig() -> String {
         ns(max_pre_downtime),
         ns(cfg.downtime_budget_ns),
         ns(max_post_downtime),
+    )
+}
+
+// ---------------------------------------------------------------------
+// C16 — erasure-coded stable storage
+// ---------------------------------------------------------------------
+
+/// C16: what Reed-Solomon coding buys over mirroring. Five sweeps over
+/// [`ckpt_ec::ErasureStore`] against [`ckpt_replica::ReplicatedStore`]:
+/// (a) commit traffic per guest-app lineage — the replica nodes ingest
+/// `(k + m) / k ×` the payload under coding vs `N ×` under mirroring;
+/// (b) commit latency vs payload size, the byte ratio showing up directly
+/// as virtual wire time; (c) survivability — coded reads stay bit-exact
+/// while shard losses stay within `m` and refuse with the typed
+/// `TooManyShardsLost` beyond, never wrong bytes; (d) reconstruction
+/// latency — what the decode + read-repair path costs on the first read
+/// after damage, and that the second read is clean; (e) availability
+/// arithmetic at the paper's MTBF regime: the real trade — more losses
+/// tolerated per group vs more nodes exposed — at a fraction of the
+/// storage and traffic overhead either way.
+///
+/// The `gate:` lines at the bottom are what CI greps.
+///
+/// Standalone like C12–C15 (`report c16` / `report erasure`); not part
+/// of `report all`.
+pub fn c16_erasure() -> String {
+    use ckpt_core::{capture_image, CaptureOptions};
+    use ckpt_ec::ErasureStore;
+    use ckpt_replica::ReplicatedStore;
+    use ckpt_storage::{ImageKey, StorageError};
+
+    let cost = CostModel::circa_2005();
+
+    // The same deterministic lineage generator as C13: one guest, one
+    // full + three incremental checkpoint images, captured uncompressed.
+    let lineage = |kind: NativeKind| -> Vec<Vec<u8>> {
+        let mut k = fresh_kernel();
+        let mut p = AppParams::small();
+        p.mem_bytes = 128 * 1024;
+        p.total_steps = u64::MAX;
+        let pid = k.spawn_native(kind, p).expect("spawn");
+        (0..4u64)
+            .map(|seq| {
+                run_steps(&mut k, pid, 8);
+                let mut opts = CaptureOptions::full("c16", seq);
+                opts.compress = false;
+                let img = capture_image(&mut k, pid, &opts).expect("capture");
+                ckpt_image::encode(&img)
+            })
+            .collect()
+    };
+
+    // (a) Commit traffic across the guest app zoo: each lineage lands in
+    // a mirrored quorum and a coded shard group; the replica sets count
+    // the bytes their nodes actually ingested (committed, not attempted).
+    let pairs: [((usize, usize), (usize, usize)); 2] = [((3, 2), (4, 2)), ((5, 3), (8, 3))];
+    let mut arows = Vec::new();
+    let mut totals = [(0u64, 0u64), (0u64, 0u64)];
+    for kind in NativeKind::ALL {
+        let versions = lineage(kind);
+        let payload: u64 = versions.iter().map(|v| v.len() as u64).sum();
+        let mut row = vec![format!("{kind:?}"), bytes(payload)];
+        for (pi, ((n, w), (k, m))) in pairs.iter().enumerate() {
+            let mut rep = ReplicatedStore::fresh(*n, *w);
+            let mut ec = ErasureStore::fresh(*k, *m);
+            for (seq, v) in versions.iter().enumerate() {
+                let key = ImageKey::new("c16/app", 1, seq as u64).to_string();
+                rep.store(&key, v, &cost).unwrap();
+                ec.store(&key, v, &cost).unwrap();
+            }
+            let mirrored = rep.replica_set().bytes_ingested();
+            let coded = ec.replica_set().bytes_ingested();
+            totals[pi].0 += mirrored;
+            totals[pi].1 += coded;
+            row.push(bytes(mirrored));
+            row.push(bytes(coded));
+            row.push(format!("{:.2}x", coded as f64 / mirrored as f64));
+        }
+        arows.push(row);
+    }
+    let traffic = table(
+        &[
+            "app",
+            "payload",
+            "repl(3,2)",
+            "rs(4,2)",
+            "ratio",
+            "repl(5,3)",
+            "rs(8,3)",
+            "ratio",
+        ],
+        &arows,
+    );
+    let ratio_42 = totals[0].1 as f64 / totals[0].0 as f64;
+    let ratio_83 = totals[1].1 as f64 / totals[1].0 as f64;
+
+    // (b) Commit latency vs payload size: the byte ratio is also the wire
+    // time ratio, so a coded commit finishes earlier in virtual time.
+    let mut lrows = Vec::new();
+    for kib in [64usize, 256, 1024] {
+        let payload: Vec<u8> = (0..kib * 1024).map(|i| (i % 251) as u8).collect();
+        let mut row = vec![bytes(payload.len() as u64)];
+        for (n, w) in [(3usize, 2usize), (5, 3)] {
+            let mut s = ReplicatedStore::fresh(n, w);
+            row.push(ns(s.store("c16/img", &payload, &cost).unwrap().time_ns));
+        }
+        for (k, m) in [(4usize, 2usize), (8, 3)] {
+            let mut s = ErasureStore::fresh(k, m);
+            row.push(ns(s.store("c16/img", &payload, &cost).unwrap().time_ns));
+        }
+        lrows.push(row);
+    }
+    let latency = table(
+        &["payload", "repl(3,2)", "repl(5,3)", "rs(4,2)", "rs(8,3)"],
+        &lrows,
+    );
+
+    // (c) Survivability: commit once, lose `lost` shard nodes, read back.
+    // Bit-exact within m losses, the typed refusal beyond — never wrong
+    // bytes, never silence.
+    let payload: Vec<u8> = (0..256 * 1024u32).map(|i| (i % 251) as u8).collect();
+    let mut srows = Vec::new();
+    let mut survivability_correct = true;
+    for (k, m) in [(4usize, 2usize), (8, 3)] {
+        for lost in 0..=m + 1 {
+            let mut store = ErasureStore::fresh(k, m);
+            store.store("c16/img", &payload, &cost).unwrap();
+            let set = store.replica_set();
+            for i in 0..lost {
+                set.node(i).fail();
+            }
+            let outcome = match store.load("c16/img", &cost) {
+                Ok((data, _)) if data == payload => "bit-exact".to_string(),
+                Ok(_) => "WRONG BYTES".to_string(),
+                Err(e @ StorageError::TooManyShardsLost { .. }) => e.to_string(),
+                Err(e) => format!("unexpected: {e}"),
+            };
+            let correct = if lost <= m {
+                outcome == "bit-exact"
+            } else {
+                outcome.starts_with("too many shards lost")
+            };
+            survivability_correct &= correct;
+            srows.push(vec![
+                format!("rs({k},{m})"),
+                lost.to_string(),
+                m.to_string(),
+                outcome,
+                correct.to_string(),
+            ]);
+        }
+    }
+    let survivability = table(
+        &["code", "shards lost", "tolerated", "read outcome", "correct"],
+        &srows,
+    );
+
+    // (d) Reconstruction latency on rs(4,2): drop shards (nodes stay
+    // reachable), then read twice. The first read pays the decode and
+    // rebuilds the dropped shards in place; the second is clean.
+    let mut rrows = Vec::new();
+    for lost in 0..=2usize {
+        let mut store = ErasureStore::fresh(4, 2);
+        store.store("c16/img", &payload, &cost).unwrap();
+        let set = store.replica_set();
+        for i in 0..lost {
+            set.node(i).drop_key("c16/img");
+        }
+        let (data, first_ns) = store.load("c16/img", &cost).unwrap();
+        assert_eq!(data, payload, "reconstruction must be bit-exact");
+        let st = store.stats();
+        let (_, second_ns) = store.load("c16/img", &cost).unwrap();
+        rrows.push(vec![
+            lost.to_string(),
+            st.decodes.to_string(),
+            st.repairs.to_string(),
+            ns(first_ns),
+            ns(second_ns),
+        ]);
+    }
+    let reconstruction = table(
+        &["shards dropped", "decodes", "repairs", "first read", "second read"],
+        &rrows,
+    );
+
+    // (e) Availability arithmetic at the paper's regime (10 h per-node
+    // MTBF, 1 h repair): a node is down with p = repair / (MTBF + repair);
+    // an object is unavailable when more nodes than the scheme tolerates
+    // are down at once (binomial, nodes independent).
+    let p_down: f64 = 1.0 / 11.0;
+    let choose = |n: usize, j: usize| -> f64 {
+        (0..j).fold(1.0, |acc, i| acc * (n - i) as f64 / (i + 1) as f64)
+    };
+    let p_unavail = |n: usize, tolerated: usize| -> f64 {
+        (tolerated + 1..=n)
+            .map(|j| choose(n, j) * p_down.powi(j as i32) * (1.0 - p_down).powi((n - j) as i32))
+            .sum()
+    };
+    let mut vrows = Vec::new();
+    for (label, n, tolerated, overhead) in [
+        ("replicated(3,2)", 3usize, 1usize, 3.0f64),
+        ("replicated(5,3)", 5, 2, 5.0),
+        ("rs(4,2)", 6, 2, 1.5),
+        ("rs(8,3)", 11, 3, 1.375),
+    ] {
+        vrows.push(vec![
+            label.to_string(),
+            n.to_string(),
+            tolerated.to_string(),
+            format!("{overhead:.2}x"),
+            format!("{:.2e}", p_unavail(n, tolerated)),
+        ]);
+    }
+    let availability = table(
+        &[
+            "backend",
+            "nodes",
+            "losses tolerated",
+            "storage + traffic overhead",
+            "P(object unavailable)",
+        ],
+        &vrows,
+    );
+
+    format!(
+        "C16 — erasure-coded stable storage: (k+m)/k x commit bytes instead of N x\n\
+         commit traffic per guest-app lineage (1 full + 3 incrementals, uncompressed)\n\
+         {traffic}\n\
+         commit latency vs payload size (one object, fresh store)\n\
+         {latency}\n\
+         survivability: bit-exact within m shard losses, typed refusal beyond\n\
+         {survivability}\n\
+         reconstruction latency on rs(4,2): decode + in-place repair on first read\n\
+         {reconstruction}\n\
+         availability at 10 h per-node MTBF, 1 h repair (independent nodes)\n\
+         {availability}\n\
+         gate: rs(4,2) commit bytes vs replicated(3,2): {ratio_42:.2}x\n\
+         gate: rs(8,3) commit bytes vs replicated(5,3): {ratio_83:.2}x\n\
+         gate: coded reads bit-exact within m losses and typed beyond: {survivability_correct}"
     )
 }
 

@@ -114,6 +114,9 @@ mod tests {
         assert_eq!(names.len(), 15);
         // The timed set additionally budgets the standalone experiments.
         let timed: Vec<&str> = TIMED_STANDALONE.iter().map(|(n, _)| *n).collect();
-        assert_eq!(timed, ["c12_replication", "c13_dedup", "c14_shard", "c15_livemig"]);
+        assert_eq!(
+            timed,
+            ["c12_replication", "c13_dedup", "c14_shard", "c15_livemig", "c16_erasure"]
+        );
     }
 }

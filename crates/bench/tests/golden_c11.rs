@@ -10,8 +10,8 @@
 //! regenerate: hash `./target/release/report c11`'s stdout with the
 //! FNV-1a 64 below and update both constants in the same commit.
 
-const GOLDEN_FNV1A64: u64 = 0xd0b6_572c_82f6_c6e1;
-const GOLDEN_BYTES: usize = 4380;
+const GOLDEN_FNV1A64: u64 = 0x7a08_87e2_ece8_5d9c;
+const GOLDEN_BYTES: usize = 4580;
 
 fn fnv1a64(data: &[u8]) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;

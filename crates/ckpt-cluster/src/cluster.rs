@@ -11,6 +11,7 @@
 
 use crate::node::{Node, NodeId};
 use ckpt_core::shared_storage;
+use ckpt_ec::{EcStripedStore, ErasureStore};
 use ckpt_replica::{ReplicaConfig, ReplicaSet, ReplicatedStore, StripedReplicaSet, StripedStore};
 use ckpt_storage::RemoteServer;
 use rand::rngs::StdRng;
@@ -185,12 +186,73 @@ impl Cluster {
         c
     }
 
-    /// The shared replica set (replicated clusters only).
+    /// Build a cluster whose remote stable storage is one RS(k, m)
+    /// erasure-coded shard group of `k + m` simulated nodes. Every
+    /// cluster node gets its own [`ErasureStore`] client onto the same
+    /// shared [`ReplicaSet`], so a checkpoint committed by one node is
+    /// readable (reconstructible) from any survivor while each commit
+    /// moves only `(k + m) / k ×` its bytes — against `N ×` under
+    /// [`Cluster::new_replicated`] at the same loss tolerance.
+    pub fn new_erasure(
+        n_nodes: usize,
+        cost: CostModel,
+        failure_cfg: FailureConfig,
+        k: usize,
+        m: usize,
+    ) -> Self {
+        let remote_server = RemoteServer::new(1 << 40);
+        let set = ReplicaSet::new(k + m);
+        let client_set = set.clone();
+        Self::build(
+            n_nodes,
+            cost,
+            failure_cfg,
+            remote_server,
+            Some(set),
+            move |id, cost| {
+                let store = ErasureStore::new(client_set.clone(), k, m);
+                Node::with_remote(id, cost, shared_storage(store))
+            },
+        )
+    }
+
+    /// Build a cluster whose remote stable storage is an erasure-coded
+    /// striped pool: `stripes` independent RS(k, m) shard groups, keys
+    /// routed by lineage hash — the sharded control plane's commit
+    /// overlap at coded bandwidth. Every cluster node gets its own
+    /// [`EcStripedStore`] client onto the same shared pool.
+    pub fn new_ec_striped(
+        n_nodes: usize,
+        cost: CostModel,
+        failure_cfg: FailureConfig,
+        stripes: usize,
+        k: usize,
+        m: usize,
+    ) -> Self {
+        let remote_server = RemoteServer::new(1 << 40);
+        let set = StripedReplicaSet::new(stripes, k + m);
+        let client_set = set.clone();
+        let mut c = Self::build(
+            n_nodes,
+            cost,
+            failure_cfg,
+            remote_server,
+            None,
+            move |id, cost| {
+                let store = EcStripedStore::new(client_set.clone(), k, m);
+                Node::with_remote(id, cost, shared_storage(store))
+            },
+        );
+        c.striped_set = Some(set);
+        c
+    }
+
+    /// The shared replica set (replicated and erasure-coded clusters).
     pub fn replica_set(&self) -> Option<&Arc<ReplicaSet>> {
         self.replica_set.as_ref()
     }
 
-    /// The shared striped pool (striped clusters only).
+    /// The shared striped pool (striped and EC-striped clusters).
     pub fn striped_set(&self) -> Option<&Arc<StripedReplicaSet>> {
         self.striped_set.as_ref()
     }
@@ -378,6 +440,31 @@ mod tests {
         assert!(c.node(NodeId(0)).kernel().unwrap().process(pid).is_none());
         // Clock resynchronized with the cluster.
         assert_eq!(c.nodes[0].now(), c.now());
+    }
+
+    #[test]
+    fn erasure_cluster_shares_one_coded_shard_group() {
+        let c = Cluster::new_erasure(
+            2,
+            CostModel::circa_2005(),
+            FailureConfig::none(),
+            4,
+            2,
+        );
+        let set = c.replica_set().expect("coded cluster exposes its shard set");
+        assert_eq!(set.len(), 6);
+        // A commit through node 0's client is reconstructible through
+        // node 1's — even after m shard nodes die.
+        let cost = CostModel::circa_2005();
+        c.nodes[0]
+            .remote
+            .lock()
+            .store("ckpt/a", b"coded once, readable anywhere", &cost)
+            .unwrap();
+        set.node(0).fail();
+        set.node(5).fail();
+        let (bytes, _) = c.nodes[1].remote.lock().load("ckpt/a", &cost).unwrap();
+        assert_eq!(bytes, b"coded once, readable anywhere");
     }
 
     #[test]

@@ -31,6 +31,7 @@ use crate::mechanism::Mechanism;
 use crate::tracker::TrackerKind;
 use crate::{shared_storage, RestorePid, SharedStorage};
 use ckpt_cas::{ChunkParams, DedupStore};
+use ckpt_ec::ErasureStore;
 use ckpt_replica::{ReplicaConfig, ReplicaSet, ReplicatedStore, StripedStore};
 use ckpt_storage::{
     load_latest_valid_chain, FaultInjectStore, LocalDisk, NvramStore, RamStore, RemoteServer,
@@ -104,6 +105,19 @@ pub const STRIPED_BACKENDS: [&str; 1] = ["striped(2x3,2)"];
 /// The mechanism family driven over the striped backends.
 pub const STRIPED_MECH: &str = "syscall";
 
+/// Erasure-coded shard groups forming the coding tier: every store on an
+/// [`ckpt_ec::ErasureStore`] travels the framed shard batch-commit path
+/// (as a batch of one), so the recording pass enumerates the per-shard
+/// `ec/s<i>/{batch,load}` sites — one shard node each — and the sweep
+/// arms each with every fault kind. Losing a shard mid-commit must end
+/// in a quorum rollback or a reconstructing restart, never silent
+/// corruption; both geometries keep `m ≥ 1` spare shards over the
+/// single-node losses the matrix injects.
+pub const ERASURE_BACKENDS: [&str; 2] = ["rs(4,2)", "rs(8,3)"];
+
+/// The mechanism family driven over the erasure-coded backends.
+pub const ERASURE_MECH: &str = "syscall";
+
 /// Total cell count of the full matrix, including the live-migration
 /// tier contributed by `ckpt-cluster::migmatrix` (the driver test sweeps
 /// both). The matrix is deterministic (the site list comes from a
@@ -111,7 +125,7 @@ pub const STRIPED_MECH: &str = "syscall";
 /// fixed artifact of the instrumentation: any new site, backend, or
 /// mechanism changes it, and the driver test asserts and prints this
 /// constant so the documented number can never drift from the code again.
-pub const MATRIX_CELLS: usize = 1920;
+pub const MATRIX_CELLS: usize = 2250;
 
 /// Parse `"replicated(N,w)"` into its quorum parameters.
 fn replicated_params(which: &str) -> Option<(usize, usize)> {
@@ -131,6 +145,15 @@ fn dedup_inner(which: &str) -> Option<&str> {
 fn striped_params(which: &str) -> Option<(usize, usize, usize)> {
     match which {
         "striped(2x3,2)" => Some((2, 3, 2)),
+        _ => None,
+    }
+}
+
+/// Parse `"rs(k,m)"` into its coding geometry.
+fn erasure_params(which: &str) -> Option<(usize, usize)> {
+    match which {
+        "rs(4,2)" => Some((4, 2)),
+        "rs(8,3)" => Some((8, 3)),
         _ => None,
     }
 }
@@ -171,6 +194,12 @@ pub fn all_configs() -> Vec<MatrixConfig> {
     for backend in STRIPED_BACKENDS {
         v.push(MatrixConfig {
             mechanism: STRIPED_MECH,
+            backend,
+        });
+    }
+    for backend in ERASURE_BACKENDS {
+        v.push(MatrixConfig {
+            mechanism: ERASURE_MECH,
             backend,
         });
     }
@@ -424,6 +453,15 @@ fn injected_storage(which: &str, faults: &FaultHandle) -> SharedStorage {
         // admission is a recorded site; the outer FaultInjectStore adds
         // the client-side `storage/striped(KxN,w)` sites on top.
         let store = StripedStore::fresh(k, n, w).with_faults(faults.clone());
+        return shared_storage(FaultInjectStore::new(Box::new(store), faults.clone()));
+    }
+    if let Some((k, m)) = erasure_params(which) {
+        // Single-object stores on the coded store travel the framed shard
+        // batch-commit path, so every per-shard `ec/s<i>/batch` admission
+        // is a recorded site; the outer FaultInjectStore adds the
+        // client-side `storage/rs(k,m)` sites on top. A lost shard is the
+        // case the code exists for: the restart must reconstruct.
+        let store = ErasureStore::fresh(k, m).with_faults(faults.clone());
         return shared_storage(FaultInjectStore::new(Box::new(store), faults.clone()));
     }
     if let Some((n, w)) = replicated_params(which) {
@@ -985,6 +1023,69 @@ mod tests {
         assert!(
             sites.iter().any(|s| s.name.contains("/batch") && s.bytes > 0),
             "batch sites must carry frame byte sizes"
+        );
+    }
+
+    #[test]
+    fn erasure_clean_scenario_restarts_bit_exact() {
+        for backend in ERASURE_BACKENDS {
+            let faults = FaultHandle::disabled();
+            let end = run_mech_scenario(ERASURE_MECH, backend, &faults);
+            assert!(end.ckpt_error.is_none(), "{backend}: {:?}", end.ckpt_error);
+            {
+                let mut s = end.storage.lock();
+                s.on_node_failure();
+                s.on_node_repair();
+            }
+            let mut mech = end.mech;
+            let mut k2 = Kernel::new(CostModel::circa_2005());
+            let r = mech.restart(&mut k2, RestorePid::Fresh).unwrap();
+            let step = verify_restored(&k2, r.pid, &app_params()).unwrap();
+            assert_eq!(step, r.work_done);
+        }
+    }
+
+    #[test]
+    fn erasure_recording_enumerates_per_shard_batch_sites() {
+        let sites = record_sites(MatrixConfig {
+            mechanism: ERASURE_MECH,
+            backend: "rs(4,2)",
+        });
+        let names: Vec<&str> = sites.iter().map(|s| s.name.as_str()).collect();
+        // Stores on the coded store travel the framed shard batch path,
+        // so every shard node's admission site is recorded — all k + m.
+        for i in 0..6 {
+            assert!(
+                names.iter().any(|n| n.starts_with(&format!("ec/s{i}/batch"))),
+                "shard {i} batch-commit site must be recorded: {names:?}"
+            );
+        }
+        // Shard sites carry the frame size so torn writes can split them.
+        assert!(
+            sites.iter().any(|s| s.name.contains("/batch") && s.bytes > 0),
+            "shard batch sites must carry frame byte sizes"
+        );
+    }
+
+    #[test]
+    fn lost_shard_mid_commit_still_restarts_by_reconstruction() {
+        // Fail-stop one shard node during the second checkpoint's batch
+        // commit: the write quorum (k + ceil(m/2) = 5 of 6) still holds,
+        // and the restart must reconstruct bit-exact around the lost
+        // shard — the cell the whole coding tier exists for.
+        let cfg = MatrixConfig {
+            mechanism: ERASURE_MECH,
+            backend: "rs(4,2)",
+        };
+        let sites = record_sites(cfg);
+        let batch2 = sites
+            .iter()
+            .find(|s| s.name.starts_with("ec/s0/batch@2"))
+            .expect("second-checkpoint shard batch site recorded");
+        let out = run_mech_cell(cfg, &batch2.name, Fault::FailStop);
+        assert!(
+            matches!(out, CellOutcome::Restarted { .. }),
+            "expected a reconstructing restart, got {out:?}"
         );
     }
 

@@ -1,0 +1,310 @@
+//! Systematic Reed-Solomon codes over GF(256).
+//!
+//! The encode matrix is derived from a Vandermonde matrix `V` with
+//! distinct evaluation points `x_i = i`: `E = V · inv(V_top)` where
+//! `V_top` is the first `k` rows. Multiplying on the right by an
+//! invertible matrix preserves the Vandermonde property that *every*
+//! set of `k` rows is linearly independent (MDS), while turning the top
+//! `k` rows into the identity — so data shards are stored verbatim and
+//! the all-shards-intact read path is a plain concatenation.
+//!
+//! Decoding picks any `k` surviving rows of `E`, inverts that `k × k`
+//! submatrix by Gauss-Jordan over the field, and multiplies it against
+//! the surviving shards to recover the data shards exactly.
+//!
+//! Determinism: parity rows are computed independently (pure function of
+//! the data shards) and fanned out on the `ckpt-par` pool behind its
+//! ordered merge, so encoded bytes are identical at any pool width.
+
+use crate::gf;
+use ckpt_par::Pool;
+use std::sync::Arc;
+
+/// Maximum total shards: evaluation points must be distinct in GF(256).
+pub const MAX_SHARDS: usize = 255;
+
+/// A `(k, m)` systematic Reed-Solomon code: `k` data shards, `m` parity
+/// shards, any `m` losses survivable.
+#[derive(Debug, Clone)]
+pub struct RsCode {
+    k: usize,
+    m: usize,
+    /// `(k + m) × k` encode matrix; rows `0..k` are the identity.
+    rows: Vec<Vec<u8>>,
+}
+
+/// Reconstruction was impossible: fewer than `k` shards survived.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NotEnoughShards {
+    pub intact: usize,
+    pub needed: usize,
+}
+
+impl std::fmt::Display for NotEnoughShards {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cannot reconstruct: {} intact shards of {} needed",
+            self.intact, self.needed
+        )
+    }
+}
+
+impl std::error::Error for NotEnoughShards {}
+
+/// Invert a `n × n` matrix over GF(256) by Gauss-Jordan elimination.
+/// Returns `None` if singular (never happens for submatrices of an MDS
+/// code's encode matrix — kept as a typed guard anyway).
+fn invert(mat: &[Vec<u8>]) -> Option<Vec<Vec<u8>>> {
+    let n = mat.len();
+    // Augment [mat | I] and reduce the left half to the identity.
+    let mut a: Vec<Vec<u8>> = mat
+        .iter()
+        .enumerate()
+        .map(|(i, row)| {
+            assert_eq!(row.len(), n);
+            let mut r = row.clone();
+            r.extend((0..n).map(|j| u8::from(i == j)));
+            r
+        })
+        .collect();
+    for col in 0..n {
+        // Pivot: first row at/below `col` with a nonzero entry.
+        let pivot = (col..n).find(|&r| a[r][col] != 0)?;
+        a.swap(col, pivot);
+        let pinv = gf::inv(a[col][col]);
+        for x in a[col].iter_mut() {
+            *x = gf::mul(*x, pinv);
+        }
+        for r in 0..n {
+            if r != col && a[r][col] != 0 {
+                let c = a[r][col];
+                let (src, dst) = if r < col {
+                    let (lo, hi) = a.split_at_mut(col);
+                    (&hi[0], &mut lo[r])
+                } else {
+                    let (lo, hi) = a.split_at_mut(r);
+                    (&lo[col], &mut hi[0])
+                };
+                for (d, &s) in dst.iter_mut().zip(src.iter()) {
+                    *d ^= gf::mul(c, s);
+                }
+            }
+        }
+    }
+    Some(a.into_iter().map(|row| row[n..].to_vec()).collect())
+}
+
+/// `out[i] = Σ_j mat[i][j] · shards[j]` — matrix × shard-vector product.
+fn mat_apply(mat: &[Vec<u8>], shards: &[&[u8]], shard_len: usize) -> Vec<Vec<u8>> {
+    mat.iter()
+        .map(|row| {
+            let mut out = vec![0u8; shard_len];
+            for (&c, &s) in row.iter().zip(shards) {
+                gf::mul_acc_slice(c, s, &mut out);
+            }
+            out
+        })
+        .collect()
+}
+
+impl RsCode {
+    /// Build the `(k, m)` code. Panics on degenerate geometry.
+    pub fn new(k: usize, m: usize) -> Self {
+        assert!(k >= 1, "need at least one data shard");
+        assert!(m >= 1, "a code with no parity protects nothing");
+        assert!(k + m <= MAX_SHARDS, "at most {MAX_SHARDS} total shards");
+        // Vandermonde rows: V[i][j] = i^j, evaluation points 0..k+m.
+        let v: Vec<Vec<u8>> = (0..k + m)
+            .map(|i| (0..k).map(|j| gf::pow(i as u8, j)).collect())
+            .collect();
+        let top_inv = invert(&v[..k]).expect("Vandermonde top block is invertible");
+        // E = V · inv(V_top); rows 0..k become the identity.
+        let rows: Vec<Vec<u8>> = v
+            .iter()
+            .map(|row| {
+                (0..k)
+                    .map(|j| {
+                        let mut acc = 0u8;
+                        for (x, tj) in row.iter().zip(top_inv.iter()) {
+                            acc ^= gf::mul(*x, tj[j]);
+                        }
+                        acc
+                    })
+                    .collect()
+            })
+            .collect();
+        for (i, row) in rows.iter().take(k).enumerate() {
+            debug_assert!(
+                row.iter().enumerate().all(|(j, &c)| c == u8::from(i == j)),
+                "systematic form: row {i} must be a unit vector"
+            );
+        }
+        RsCode { k, m, rows }
+    }
+
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Shard length for an object of `len` bytes: `ceil(len / k)`, with a
+    /// one-byte floor so zero-length objects still commit frames.
+    pub fn shard_len(&self, len: usize) -> usize {
+        (len.div_ceil(self.k)).max(1)
+    }
+
+    /// Split an object into `k` equal data shards (last one zero-padded).
+    pub fn split(&self, object: &[u8]) -> Vec<Vec<u8>> {
+        let sl = self.shard_len(object.len());
+        (0..self.k)
+            .map(|i| {
+                let lo = (i * sl).min(object.len());
+                let hi = ((i + 1) * sl).min(object.len());
+                let mut s = object[lo..hi].to_vec();
+                s.resize(sl, 0);
+                s
+            })
+            .collect()
+    }
+
+    /// Compute the `m` parity shards from the `k` data shards, fanning
+    /// the parity rows out on `pool` with ordered merge (byte-identical
+    /// at any pool width — each row is a pure function of the inputs).
+    pub fn encode(&self, data: &[Vec<u8>], pool: &Arc<Pool>) -> Vec<Vec<u8>> {
+        assert_eq!(data.len(), self.k);
+        let sl = data[0].len();
+        assert!(data.iter().all(|s| s.len() == sl), "unequal shard lengths");
+        pool.par_map_ordered((0..self.m).collect(), || (), |_, _, p| {
+            let row = &self.rows[self.k + p];
+            let mut out = vec![0u8; sl];
+            for (&c, s) in row.iter().zip(data) {
+                gf::mul_acc_slice(c, s, &mut out);
+            }
+            out
+        })
+    }
+
+    /// Rebuild the full shard set from any `k` survivors.
+    ///
+    /// `shards` has `k + m` slots; `None` marks a lost/torn shard. On
+    /// success every slot is filled (survivors pass through untouched, so
+    /// reconstruction can never silently rewrite an intact shard).
+    pub fn reconstruct(
+        &self,
+        shards: &[Option<Vec<u8>>],
+    ) -> Result<Vec<Vec<u8>>, NotEnoughShards> {
+        assert_eq!(shards.len(), self.k + self.m);
+        let intact: Vec<usize> = (0..self.k + self.m).filter(|&i| shards[i].is_some()).collect();
+        if intact.len() < self.k {
+            return Err(NotEnoughShards {
+                intact: intact.len(),
+                needed: self.k,
+            });
+        }
+        let sl = shards[intact[0]].as_ref().unwrap().len();
+        // Fast path: all data shards intact — nothing to invert.
+        let data: Vec<Vec<u8>> = if (0..self.k).all(|i| shards[i].is_some()) {
+            (0..self.k).map(|i| shards[i].clone().unwrap()).collect()
+        } else {
+            // Invert the k×k submatrix of the first k surviving rows.
+            let chosen = &intact[..self.k];
+            let sub: Vec<Vec<u8>> = chosen.iter().map(|&i| self.rows[i].clone()).collect();
+            let dec = invert(&sub).expect("any k rows of an MDS matrix are independent");
+            let survivors: Vec<&[u8]> = chosen
+                .iter()
+                .map(|&i| shards[i].as_ref().unwrap().as_slice())
+                .collect();
+            mat_apply(&dec, &survivors, sl)
+        };
+        // Re-derive every missing parity shard from the recovered data.
+        let mut full: Vec<Vec<u8>> = Vec::with_capacity(self.k + self.m);
+        let data_refs: Vec<&[u8]> = data.iter().map(|s| s.as_slice()).collect();
+        for i in 0..self.k + self.m {
+            match &shards[i] {
+                Some(s) => full.push(s.clone()),
+                None if i < self.k => full.push(data[i].clone()),
+                None => {
+                    let row = std::slice::from_ref(&self.rows[i]);
+                    full.push(mat_apply(row, &data_refs, sl).pop().unwrap());
+                }
+            }
+        }
+        Ok(full)
+    }
+
+    /// Reassemble the object from the `k` data shards.
+    pub fn join(&self, shards: &[Vec<u8>], object_len: usize) -> Vec<u8> {
+        let mut out = Vec::with_capacity(object_len);
+        for s in shards.iter().take(self.k) {
+            out.extend_from_slice(s);
+        }
+        out.truncate(object_len);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pattern(len: usize, salt: u64) -> Vec<u8> {
+        (0..len)
+            .map(|i| ((i as u64).wrapping_mul(31).wrapping_add(salt * 17) % 251) as u8)
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_with_every_single_loss_pattern() {
+        let code = RsCode::new(4, 2);
+        let object = pattern(1000, 1);
+        let data = code.split(&object);
+        let parity = code.encode(&data, ckpt_par::global());
+        for lost in 0..6 {
+            let mut shards: Vec<Option<Vec<u8>>> =
+                data.iter().chain(parity.iter()).cloned().map(Some).collect();
+            shards[lost] = None;
+            let full = code.reconstruct(&shards).unwrap();
+            assert_eq!(code.join(&full, object.len()), object, "lost shard {lost}");
+            // Reconstruction restored the lost shard exactly.
+            let expect = if lost < 4 { &data[lost] } else { &parity[lost - 4] };
+            assert_eq!(&full[lost], expect, "shard {lost} not rebuilt bit-exact");
+        }
+    }
+
+    #[test]
+    fn losing_more_than_m_is_a_typed_refusal() {
+        let code = RsCode::new(4, 2);
+        let data = code.split(&pattern(256, 2));
+        let parity = code.encode(&data, ckpt_par::global());
+        let mut shards: Vec<Option<Vec<u8>>> =
+            data.iter().chain(parity.iter()).cloned().map(Some).collect();
+        shards[0] = None;
+        shards[2] = None;
+        shards[5] = None;
+        assert_eq!(
+            code.reconstruct(&shards),
+            Err(NotEnoughShards { intact: 3, needed: 4 })
+        );
+    }
+
+    #[test]
+    fn zero_length_and_sub_k_objects_still_shard() {
+        let code = RsCode::new(4, 2);
+        for len in [0usize, 1, 3, 4, 5] {
+            let object = pattern(len, 3);
+            let data = code.split(&object);
+            assert!(data.iter().all(|s| !s.is_empty()));
+            let parity = code.encode(&data, ckpt_par::global());
+            let mut shards: Vec<Option<Vec<u8>>> =
+                data.iter().chain(parity.iter()).cloned().map(Some).collect();
+            shards[0] = None;
+            shards[3] = None;
+            let full = code.reconstruct(&shards).unwrap();
+            assert_eq!(code.join(&full, len), object, "len = {len}");
+        }
+    }
+}

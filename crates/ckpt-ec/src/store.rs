@@ -1,0 +1,943 @@
+//! The erasure-coded stable-storage backend.
+//!
+//! An [`ErasureStore`] is one client handle onto a shared
+//! [`ReplicaSet`] of `k + m` shard nodes: every object splits into `k`
+//! data shards plus `m` Reed-Solomon parity shards, one shard per node.
+//! A commit moves `(k + m) / k ×` the object's bytes over the wire where
+//! an N-way replicated commit moves `N ×` — the bandwidth win this layer
+//! exists for — while still surviving any `m` node losses.
+//!
+//! ## Write quorum
+//!
+//! A write commits when `w = k + ⌈m/2⌉` shard nodes acknowledge
+//! (`w ≥ k + 1` since `m ≥ 1`). That choice makes reads safe by the same
+//! argument the replicated store uses for `w > N/2`: a committed write
+//! occupies at least `w` nodes, so if a read finds `≥ k` intact shards
+//! at some version `v`, the at most `(k + m) − k = m < w` remaining
+//! nodes cannot be hiding an entire newer commit — the reconstruction of
+//! `v` is the newest committed value. Fewer than `w` acks rolls the
+//! attempt back from every node that took it and refuses with the typed
+//! [`StorageError::QuorumLost`].
+//!
+//! ## Read path
+//!
+//! Reads probe every node (frame digests make torn shards
+//! self-identifying, exactly as on the replicated path), pick the
+//! highest version any intact shard carries, and reconstruct from any
+//! `k` intact shards — concatenation when all data shards survived, a
+//! GF(256) matrix-inversion decode otherwise. The reassembled object is
+//! verified against the object digest carried in every shard header;
+//! lost/torn/stale shards are then rebuilt in place (the read-repair
+//! analog, each repaired frame re-digested by its node). Fewer than `k`
+//! intact shards refuses with the typed
+//! [`StorageError::TooManyShardsLost`] — never silent corruption, never
+//! fabricated bytes.
+//!
+//! ## Determinism
+//!
+//! All fault admission (node reachability, queued transients,
+//! `simos::faultpoint` checks at `ec/s<i>/store` / `ec/s<i>/load` /
+//! `ec/s<i>/batch`) and all backoff arithmetic run sequentially on the
+//! calling thread in shard-node order; only pure work — parity encodes
+//! and per-node frame copies — fans out on the `ckpt-par` pool behind
+//! its ordered merge. Commits, manifests, costs, and counters are
+//! identical at every pool width.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use ckpt_par::Pool;
+use ckpt_replica::{fnv1a64, Admission, Backoff, BackoffPolicy, Frame, Probe, ReplicaSet};
+use ckpt_storage::{
+    BatchReceipt, CodingGeometry, ReplicaManifest, StableStorage, StorageClass, StorageError,
+    StoreReceipt,
+};
+use simos::cost::CostModel;
+use simos::faultpoint::{Fault, FaultHandle};
+use simos::trace::TraceHandle;
+
+use crate::rs::RsCode;
+
+/// Per-shard frame header: magic, geometry, shard index, then the
+/// object's length and digest so any `k` shards carry enough to verify
+/// the reassembled object.
+const SHARD_MAGIC: [u8; 4] = *b"ECS1";
+const SHARD_HEADER: usize = 24;
+
+fn shard_frame(k: u8, m: u8, idx: u8, object_len: u64, object_digest: u64, shard: &[u8]) -> Vec<u8> {
+    let mut f = Vec::with_capacity(SHARD_HEADER + shard.len());
+    f.extend_from_slice(&SHARD_MAGIC);
+    f.extend_from_slice(&[k, m, idx, 0]);
+    f.extend_from_slice(&object_len.to_le_bytes());
+    f.extend_from_slice(&object_digest.to_le_bytes());
+    f.extend_from_slice(shard);
+    f
+}
+
+/// Parse a shard frame; `None` if the header is malformed or the
+/// geometry disagrees with the store's code (either way the shard is
+/// unusable, which the caller counts as lost).
+fn parse_shard(frame: &[u8], k: usize, m: usize) -> Option<(usize, u64, u64, &[u8])> {
+    if frame.len() < SHARD_HEADER || frame[..4] != SHARD_MAGIC {
+        return None;
+    }
+    if frame[4] as usize != k || frame[5] as usize != m {
+        return None;
+    }
+    let idx = frame[6] as usize;
+    let object_len = u64::from_le_bytes(frame[8..16].try_into().unwrap());
+    let object_digest = u64::from_le_bytes(frame[16..24].try_into().unwrap());
+    Some((idx, object_len, object_digest, &frame[SHARD_HEADER..]))
+}
+
+/// Plain counters mirroring the [`simos::trace::ErasureAgg`] deltas this
+/// store emits, readable without a recording trace handle.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EcStats {
+    /// Objects committed (shard batches that reached write quorum).
+    pub commits: u64,
+    /// Per-node transient faults absorbed by backoff-retry.
+    pub retries: u64,
+    /// Reads that needed a matrix-inversion decode.
+    pub decodes: u64,
+    /// Lost/torn/stale shards rebuilt in place during reads.
+    pub repairs: u64,
+    /// Reads refused with [`StorageError::TooManyShardsLost`].
+    pub shard_losses: u64,
+    /// Writes refused with [`StorageError::QuorumLost`].
+    pub quorum_losses: u64,
+    /// Acknowledgement round-trips: one per single store or delete, one
+    /// per entire framed shard batch.
+    pub ack_cycles: u64,
+}
+
+#[derive(Default)]
+struct StatCells {
+    commits: AtomicU64,
+    retries: AtomicU64,
+    decodes: AtomicU64,
+    repairs: AtomicU64,
+    shard_losses: AtomicU64,
+    quorum_losses: AtomicU64,
+    ack_cycles: AtomicU64,
+}
+
+/// Per-node write decision, resolved sequentially before the pool
+/// executes the copies (same discipline as the replicated store).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WriteCmd {
+    Full,
+    Torn { keep: usize },
+    Skip,
+}
+
+/// One client handle on an erasure-coded store over `k + m` shard nodes.
+pub struct ErasureStore {
+    set: Arc<ReplicaSet>,
+    code: RsCode,
+    /// Shard write quorum `k + ⌈m/2⌉`.
+    w: usize,
+    backoff: BackoffPolicy,
+    faults: FaultHandle,
+    trace: TraceHandle,
+    pool: Arc<Pool>,
+    client_up: bool,
+    /// Faultpoint namespace: sites render as `{site_prefix}/s<i>/{op}`.
+    site_prefix: String,
+    manifests: BTreeMap<String, ReplicaManifest>,
+    stats: StatCells,
+}
+
+impl ErasureStore {
+    /// A store over `set` (which must have exactly `k + m` nodes) with an
+    /// RS(k, m) code. Fault injection defaults to off, tracing to the
+    /// no-op sink, the pool to the global one.
+    pub fn new(set: Arc<ReplicaSet>, k: usize, m: usize) -> Self {
+        let code = RsCode::new(k, m);
+        assert_eq!(
+            set.len(),
+            k + m,
+            "shard set has {} nodes but RS({k},{m}) needs {}",
+            set.len(),
+            k + m
+        );
+        ErasureStore {
+            set,
+            code,
+            w: k + m.div_ceil(2),
+            backoff: BackoffPolicy::default(),
+            faults: FaultHandle::disabled(),
+            trace: TraceHandle::disabled(),
+            pool: ckpt_par::global().clone(),
+            client_up: true,
+            site_prefix: "ec".to_string(),
+            manifests: BTreeMap::new(),
+            stats: StatCells::default(),
+        }
+    }
+
+    /// Convenience: a fresh `k + m`-node set plus its first client handle.
+    pub fn fresh(k: usize, m: usize) -> Self {
+        ErasureStore::new(ReplicaSet::new(k + m), k, m)
+    }
+
+    pub fn with_faults(mut self, faults: FaultHandle) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    pub fn with_trace(mut self, trace: TraceHandle) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    pub fn with_pool(mut self, pool: Arc<Pool>) -> Self {
+        self.pool = pool;
+        self
+    }
+
+    pub fn with_backoff(mut self, backoff: BackoffPolicy) -> Self {
+        self.backoff = backoff;
+        self
+    }
+
+    /// Rename the faultpoint namespace (default `ec`); an EC-striped pool
+    /// gives each stripe `ecstripe<j>`.
+    pub fn with_site_prefix(mut self, prefix: impl Into<String>) -> Self {
+        self.site_prefix = prefix.into();
+        self
+    }
+
+    pub fn k(&self) -> usize {
+        self.code.k()
+    }
+
+    pub fn m(&self) -> usize {
+        self.code.m()
+    }
+
+    /// Shard write quorum `k + ⌈m/2⌉`.
+    pub fn write_quorum(&self) -> usize {
+        self.w
+    }
+
+    pub fn replica_set(&self) -> Arc<ReplicaSet> {
+        self.set.clone()
+    }
+
+    /// Counters accumulated by this client handle.
+    pub fn stats(&self) -> EcStats {
+        EcStats {
+            commits: self.stats.commits.load(Ordering::Relaxed),
+            retries: self.stats.retries.load(Ordering::Relaxed),
+            decodes: self.stats.decodes.load(Ordering::Relaxed),
+            repairs: self.stats.repairs.load(Ordering::Relaxed),
+            shard_losses: self.stats.shard_losses.load(Ordering::Relaxed),
+            quorum_losses: self.stats.quorum_losses.load(Ordering::Relaxed),
+            ack_cycles: self.stats.ack_cycles.load(Ordering::Relaxed),
+        }
+    }
+
+    fn n(&self) -> usize {
+        self.code.k() + self.code.m()
+    }
+
+    fn xfer_ns(&self, len: usize, cost: &CostModel) -> u64 {
+        (len as f64 * cost.net_ns_per_byte).round() as u64
+    }
+
+    /// Encode an object into its `k + m` shard frames (pure; parity rows
+    /// fan out on the pool).
+    fn encode_frames(&self, data: &[u8]) -> Vec<Vec<u8>> {
+        let shards = self.code.split(data);
+        let parity = self.code.encode(&shards, &self.pool);
+        let (len, digest) = (data.len() as u64, fnv1a64(data));
+        let (k, m) = (self.code.k() as u8, self.code.m() as u8);
+        shards
+            .iter()
+            .chain(parity.iter())
+            .enumerate()
+            .map(|(i, s)| shard_frame(k, m, i as u8, len, digest, s))
+            .collect()
+    }
+
+    /// Resolve one shard node's admission + fault checks into a write
+    /// decision, retrying transients on the jittered schedule. Mirrors
+    /// the replicated store's sequential-admission discipline.
+    fn resolve_node(&self, i: usize, op: &str, key: &str, bytes: u64) -> (WriteCmd, u64, u64) {
+        let node = self.set.node(i);
+        let site = format!("{}/s{i}/{op}", self.site_prefix);
+        let salt = fnv1a64(key.as_bytes()) ^ (i as u64);
+        let mut backoff = Backoff::new(self.backoff, salt);
+        let mut retries = 0u64;
+        let mut delay_ns = 0u64;
+        loop {
+            match node.admit() {
+                Admission::Down => return (WriteCmd::Skip, retries, delay_ns),
+                Admission::Transient => match backoff.next_delay_ns() {
+                    Ok(d) => {
+                        retries += 1;
+                        delay_ns += d;
+                        continue;
+                    }
+                    Err(_) => return (WriteCmd::Skip, retries, delay_ns),
+                },
+                Admission::Ok => {}
+            }
+            if !self.faults.is_off() {
+                match self.faults.check(&site, bytes) {
+                    Some(Fault::Transient) => match backoff.next_delay_ns() {
+                        Ok(d) => {
+                            retries += 1;
+                            delay_ns += d;
+                            continue;
+                        }
+                        Err(_) => return (WriteCmd::Skip, retries, delay_ns),
+                    },
+                    Some(Fault::TornWrite { keep_bytes }) if op != "load" => {
+                        node.fail();
+                        return (
+                            WriteCmd::Torn {
+                                keep: keep_bytes as usize,
+                            },
+                            retries,
+                            delay_ns,
+                        );
+                    }
+                    Some(_) => {
+                        node.fail();
+                        return (WriteCmd::Skip, retries, delay_ns);
+                    }
+                    None => {}
+                }
+            }
+            return (WriteCmd::Full, retries, delay_ns);
+        }
+    }
+
+    /// Highest frame version any reachable node holds for `key`.
+    fn probe_max_version(&self, key: &str) -> u64 {
+        self.set
+            .nodes()
+            .iter()
+            .filter(|n| !n.is_down())
+            .map(|n| match n.probe(key) {
+                Probe::Missing => 0,
+                Probe::Torn { version } => version,
+                Probe::Valid(f) => f.version,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Undo the last committed write of `key` (the EC-striped pool's
+    /// cross-stripe all-or-nothing needs this, exactly like the striped
+    /// replica pool).
+    pub(crate) fn retract_commit(&mut self, key: &str) {
+        if let Some(man) = self.manifests.remove(key) {
+            for i in 0..self.n() {
+                self.set.node(i).drop_if_version(key, man.version);
+            }
+        }
+    }
+
+    fn bump(&self, commits: u64, retries: u64, decodes: u64, repairs: u64, losses: u64) {
+        self.stats.commits.fetch_add(commits, Ordering::Relaxed);
+        self.stats.retries.fetch_add(retries, Ordering::Relaxed);
+        self.stats.decodes.fetch_add(decodes, Ordering::Relaxed);
+        self.stats.repairs.fetch_add(repairs, Ordering::Relaxed);
+        self.stats.shard_losses.fetch_add(losses, Ordering::Relaxed);
+        self.trace.erasure(commits, decodes, repairs, losses);
+    }
+
+    fn manifest_for(&self, key: &str, version: u64, data_len: u64, digest: u64, acked: Vec<u32>) -> ReplicaManifest {
+        ReplicaManifest {
+            key: key.to_string(),
+            version,
+            digest,
+            bytes: data_len,
+            acked,
+            n: self.n() as u32,
+            w: self.w as u32,
+            coding: Some(CodingGeometry {
+                k: self.code.k() as u32,
+                m: self.code.m() as u32,
+            }),
+        }
+    }
+}
+
+impl StableStorage for ErasureStore {
+    fn class(&self) -> StorageClass {
+        StorageClass::Remote
+    }
+
+    fn label(&self) -> String {
+        format!("rs({},{})", self.code.k(), self.code.m())
+    }
+
+    fn store(
+        &mut self,
+        key: &str,
+        data: &[u8],
+        cost: &CostModel,
+    ) -> Result<StoreReceipt, StorageError> {
+        let r = self.store_batch(&[(key, data)], cost)?;
+        Ok(StoreReceipt {
+            key: key.to_string(),
+            bytes: r.bytes,
+            time_ns: r.time_ns,
+        })
+    }
+
+    fn load(&self, key: &str, cost: &CostModel) -> Result<(Vec<u8>, u64), StorageError> {
+        if !self.client_up {
+            return Err(StorageError::Unavailable);
+        }
+        let (k, m, n) = (self.code.k(), self.code.m(), self.n());
+
+        // Sequential probe of every shard node, in node order.
+        let mut total_retries = 0u64;
+        let mut backoff_ns = 0u64;
+        let mut down = 0usize;
+        let mut frames: Vec<Option<Frame>> = vec![None; n];
+        for (i, slot) in frames.iter_mut().enumerate() {
+            let (cmd, r, d) = self.resolve_node(i, "load", key, 0);
+            total_retries += r;
+            backoff_ns += d;
+            if cmd != WriteCmd::Full {
+                down += 1;
+                continue;
+            }
+            match self.set.node(i).probe(key) {
+                Probe::Valid(f) => *slot = Some(f),
+                Probe::Torn { .. } | Probe::Missing => {}
+            }
+        }
+
+        let winner = frames
+            .iter()
+            .flatten()
+            .map(|f| f.version)
+            .max()
+            .unwrap_or(0);
+        if winner == 0 {
+            // No node has ever seen this key — unless so many are down
+            // that a committed shard set could be hiding on them.
+            let refused = down > n - self.w;
+            self.bump(0, total_retries, 0, 0, u64::from(refused));
+            return if refused {
+                Err(StorageError::TooManyShardsLost {
+                    intact: 0,
+                    needed: k as u32,
+                })
+            } else {
+                Err(StorageError::NotFound(key.to_string()))
+            };
+        }
+
+        // Tombstone wins: the newest commit is a delete marker. Repair it
+        // onto every reachable lagging node so the key can't resurrect.
+        if frames
+            .iter()
+            .flatten()
+            .any(|f| f.version == winner && f.tombstone)
+        {
+            let lagging: Vec<usize> = (0..n)
+                .filter(|&i| !self.set.node(i).is_down())
+                .filter(|&i| !matches!(&frames[i], Some(f) if f.version == winner))
+                .collect();
+            let repairs = lagging.len() as u64;
+            for i in lagging {
+                self.set.node(i).put_tombstone(key, winner);
+            }
+            self.bump(0, total_retries, 0, repairs, 0);
+            return Err(StorageError::NotFound(key.to_string()));
+        }
+
+        // Collect the intact shards of the winning version. A frame whose
+        // header is malformed or whose shard index disagrees with its
+        // node counts as lost — it cannot be trusted into the decode.
+        let mut shards: Vec<Option<Vec<u8>>> = vec![None; n];
+        let mut object_len = 0u64;
+        let mut object_digest = 0u64;
+        let mut shard_frame_len = 0usize;
+        let mut intact = 0usize;
+        for i in 0..n {
+            let Some(f) = &frames[i] else { continue };
+            if f.version != winner {
+                continue;
+            }
+            if let Some((idx, olen, odig, shard)) = parse_shard(&f.data, k, m) {
+                if idx == i {
+                    shards[i] = Some(shard.to_vec());
+                    object_len = olen;
+                    object_digest = odig;
+                    shard_frame_len = f.data.len();
+                    intact += 1;
+                }
+            }
+        }
+        if intact < k {
+            self.bump(0, total_retries, 0, 0, 1);
+            return Err(StorageError::TooManyShardsLost {
+                intact: intact as u32,
+                needed: k as u32,
+            });
+        }
+
+        // Reconstruct: concatenation when all data shards survived, a
+        // matrix-inversion decode otherwise.
+        let needs_decode = (0..k).any(|i| shards[i].is_none());
+        let full = self
+            .code
+            .reconstruct(&shards)
+            .expect("intact >= k shards reconstruct");
+        let object = self.code.join(&full, object_len as usize);
+        if fnv1a64(&object) != object_digest {
+            // The shard set is internally inconsistent (can only happen
+            // if the medium was damaged beyond what frame digests catch).
+            // Refuse — returning the reassembly would be silent corruption.
+            self.bump(0, total_retries, 0, 0, 1);
+            return Err(StorageError::TooManyShardsLost {
+                intact: intact as u32,
+                needed: k as u32,
+            });
+        }
+
+        // Read-repair: rebuild the proper shard frame, at the winning
+        // version, on every reachable node that doesn't hold it. Pure
+        // copies — fan out on the pool; each node re-digests its frame.
+        let lagging: Vec<usize> = (0..n)
+            .filter(|&i| !self.set.node(i).is_down())
+            .filter(|&i| shards[i].is_none())
+            .collect();
+        let repairs = lagging.len() as u64;
+        if !lagging.is_empty() {
+            let (kb, mb) = (k as u8, m as u8);
+            let set = self.set.clone();
+            let full = &full;
+            self.pool.par_map_ordered(lagging, || (), |_, _, i| {
+                let frame = shard_frame(kb, mb, i as u8, object_len, object_digest, &full[i]);
+                set.node(i).put(key, winner, &frame);
+            });
+        }
+
+        // k shard frames cross the wire to serve the read, plus one per
+        // repaired node to rebuild it.
+        let time_ns = cost.net_latency_ns
+            + self.xfer_ns(shard_frame_len, cost) * (k as u64 + repairs)
+            + backoff_ns;
+        self.bump(0, total_retries, u64::from(needs_decode), repairs, 0);
+        Ok((object, time_ns))
+    }
+
+    fn delete(&mut self, key: &str) -> Result<(), StorageError> {
+        if !self.client_up {
+            return Err(StorageError::Unavailable);
+        }
+        let version = self.probe_max_version(key) + 1;
+        let mut acked = 0usize;
+        let mut total_retries = 0u64;
+        for i in 0..self.n() {
+            // Same admission/retry path as the replicated store's delete:
+            // no payload to tear, so no faultpoint site is consulted.
+            let node = self.set.node(i);
+            let salt = fnv1a64(key.as_bytes()) ^ (i as u64) ^ 0xde1e;
+            let mut backoff = Backoff::new(self.backoff, salt);
+            loop {
+                match node.admit() {
+                    Admission::Down => break,
+                    Admission::Transient => {
+                        if backoff.next_delay_ns().is_err() {
+                            break;
+                        }
+                        total_retries += 1;
+                        continue;
+                    }
+                    Admission::Ok => {
+                        node.put_tombstone(key, version);
+                        acked += 1;
+                        break;
+                    }
+                }
+            }
+        }
+        self.stats.ack_cycles.fetch_add(1, Ordering::Relaxed);
+        if acked < self.w {
+            self.stats.quorum_losses.fetch_add(1, Ordering::Relaxed);
+            self.bump(0, total_retries, 0, 0, 0);
+            return Err(StorageError::QuorumLost {
+                acked: acked as u32,
+                needed: self.w as u32,
+            });
+        }
+        self.manifests.remove(key);
+        self.bump(0, total_retries, 0, 0, 0);
+        Ok(())
+    }
+
+    fn list(&self) -> Vec<String> {
+        if !self.client_up {
+            return Vec::new();
+        }
+        let mut keys: Vec<String> = self
+            .set
+            .nodes()
+            .iter()
+            .filter(|n| !n.is_down())
+            .flat_map(|n| n.keys())
+            .collect();
+        keys.sort();
+        keys.dedup();
+        keys
+    }
+
+    fn available(&self) -> bool {
+        self.client_up && self.set.reachable() >= self.w
+    }
+
+    fn used_bytes(&self) -> u64 {
+        // Physical occupancy: the object spreads over the nodes, so the
+        // sum — not the max — is one logical copy's coded footprint.
+        self.set
+            .nodes()
+            .iter()
+            .filter(|n| !n.is_down())
+            .map(|n| n.used_bytes())
+            .sum()
+    }
+
+    fn on_node_failure(&mut self) {
+        // The *client's* node fail-stopped; the shard nodes are elsewhere.
+        self.client_up = false;
+    }
+
+    fn on_node_repair(&mut self) {
+        self.client_up = true;
+    }
+
+    fn on_power_down(&mut self) {
+        // Remote media are unaffected by the client node's power state.
+    }
+
+    fn replica_manifest(&self, key: &str) -> Option<ReplicaManifest> {
+        self.manifests.get(key).cloned()
+    }
+
+    /// Framed batched shard commit: each node receives ONE wire frame
+    /// holding its shard of every object in the batch — one admission /
+    /// retry / acknowledgement cycle per node for the whole batch
+    /// (`ack_cycles: 1`), the same amortization as the replicated batch
+    /// path but at `(k + m) / k ×` the payload bytes instead of `N ×`.
+    /// Torn writes persist a frame *prefix* with per-object semantics;
+    /// fewer than `w` full frames rolls every object back.
+    fn store_batch(
+        &mut self,
+        objects: &[(&str, &[u8])],
+        cost: &CostModel,
+    ) -> Result<BatchReceipt, StorageError> {
+        if !self.client_up {
+            return Err(StorageError::Unavailable);
+        }
+        if objects.is_empty() {
+            return Ok(BatchReceipt {
+                objects: 0,
+                bytes: 0,
+                time_ns: 0,
+                ack_cycles: 0,
+            });
+        }
+        let n = self.n();
+
+        let versions: Vec<u64> = objects
+            .iter()
+            .map(|(k, _)| self.probe_max_version(k) + 1)
+            .collect();
+
+        // Encode every object up front (pure; parity rows fan out on the
+        // pool per object): per_object[j][i] is object j's frame on node i.
+        let per_object: Vec<Vec<Vec<u8>>> = objects
+            .iter()
+            .map(|(_, d)| self.encode_frames(d))
+            .collect();
+
+        // Frame layout offsets, identical on every node because shard
+        // frames of one object are equal-length: 16-byte frame header,
+        // then records of 20-byte header + key + shard payload. The
+        // offsets decide what a torn write leaves behind.
+        const FRAME_HEADER: u64 = 16;
+        const RECORD_HEADER: u64 = 20;
+        let mut payload_at: Vec<(u64, u64)> = Vec::with_capacity(objects.len());
+        let mut off = FRAME_HEADER;
+        for (j, (key, _)) in objects.iter().enumerate() {
+            let plen = per_object[j][0].len() as u64;
+            off += RECORD_HEADER + key.len() as u64;
+            payload_at.push((off, off + plen));
+            off += plen;
+        }
+        let frame_bytes = off;
+
+        // Phase 1 (sequential, node order): ONE admission + fault-check
+        // + retry/backoff cycle per node for the entire batch.
+        let batch_id = format!("batch/{}+{}", objects[0].0, objects.len());
+        let mut total_retries = 0u64;
+        let mut backoff_ns = 0u64;
+        let cmds: Vec<(usize, WriteCmd)> = (0..n)
+            .map(|i| {
+                let (cmd, r, d) = self.resolve_node(i, "batch", &batch_id, frame_bytes);
+                total_retries += r;
+                backoff_ns += d;
+                (i, cmd)
+            })
+            .collect();
+
+        // Phase 2 (pool fan-out): pure copies, one node per work item.
+        let set = self.set.clone();
+        let per_object = &per_object;
+        let payload_at = &payload_at;
+        self.pool.par_map_ordered(
+            cmds.clone(),
+            || (),
+            |_, _, (i, cmd)| match cmd {
+                WriteCmd::Full => {
+                    for (j, (key, _)) in objects.iter().enumerate() {
+                        set.node(i).put(key, versions[j], &per_object[j][i]);
+                    }
+                }
+                WriteCmd::Torn { keep } => {
+                    let keep = keep as u64;
+                    for (j, (key, _)) in objects.iter().enumerate() {
+                        let (ps, pe) = payload_at[j];
+                        let record_start = ps - RECORD_HEADER - key.len() as u64;
+                        if keep >= pe {
+                            set.node(i).put(key, versions[j], &per_object[j][i]);
+                        } else if keep > record_start {
+                            let kept = keep.saturating_sub(ps) as usize;
+                            set.node(i).put_torn(key, versions[j], &per_object[j][i], kept);
+                        }
+                    }
+                }
+                WriteCmd::Skip => {}
+            },
+        );
+
+        let acked: Vec<u32> = cmds
+            .iter()
+            .filter(|(_, c)| matches!(c, WriteCmd::Full))
+            .map(|(i, _)| *i as u32)
+            .collect();
+        let xfer: u64 = cmds
+            .iter()
+            .map(|(_, c)| match c {
+                WriteCmd::Full => self.xfer_ns(frame_bytes as usize, cost),
+                WriteCmd::Torn { keep } => {
+                    self.xfer_ns((*keep as u64).min(frame_bytes) as usize, cost)
+                }
+                WriteCmd::Skip => 0,
+            })
+            .sum();
+        let time_ns = cost.net_latency_ns + xfer + backoff_ns;
+        self.stats.ack_cycles.fetch_add(1, Ordering::Relaxed);
+
+        if acked.len() < self.w {
+            // All-or-nothing: peel every object's shards back off the
+            // nodes that took them (torn prefixes included — their nodes
+            // are down, but `drop_if_version` keeps the traffic counter
+            // honest when they come back).
+            for (i, _) in cmds.iter().filter(|(_, c)| *c != WriteCmd::Skip) {
+                for (j, (key, _)) in objects.iter().enumerate() {
+                    self.set.node(*i).drop_if_version(key, versions[j]);
+                }
+            }
+            self.stats.quorum_losses.fetch_add(1, Ordering::Relaxed);
+            self.bump(0, total_retries, 0, 0, 0);
+            return Err(StorageError::QuorumLost {
+                acked: acked.len() as u32,
+                needed: self.w as u32,
+            });
+        }
+
+        let mut payload_bytes = 0u64;
+        for (j, (key, d)) in objects.iter().enumerate() {
+            payload_bytes += d.len() as u64;
+            let man = self.manifest_for(key, versions[j], d.len() as u64, fnv1a64(d), acked.clone());
+            self.manifests.insert(key.to_string(), man);
+        }
+        self.bump(objects.len() as u64, total_retries, 0, 0, 0);
+        Ok(BatchReceipt {
+            objects: objects.len() as u64,
+            bytes: payload_bytes,
+            time_ns,
+            ack_cycles: 1,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cost() -> CostModel {
+        CostModel::circa_2005()
+    }
+
+    fn payload(len: usize) -> Vec<u8> {
+        (0..len).map(|i| (i % 251) as u8).collect()
+    }
+
+    #[test]
+    fn commit_shards_across_all_nodes_and_reads_back() {
+        let mut s = ErasureStore::fresh(4, 2);
+        let data = payload(4096);
+        let r = s.store("j/pid1/seq1", &data, &cost()).unwrap();
+        assert_eq!(r.bytes, 4096);
+        let man = s.replica_manifest("j/pid1/seq1").unwrap();
+        assert_eq!(man.coding, Some(CodingGeometry { k: 4, m: 2 }));
+        assert_eq!((man.n, man.w), (6, 5));
+        assert_eq!(man.acked.len(), 6);
+        let (bytes, _) = s.load("j/pid1/seq1", &cost()).unwrap();
+        assert_eq!(bytes, data);
+        assert_eq!(s.stats().commits, 1);
+        assert_eq!(s.stats().decodes, 0, "all data shards intact: no decode");
+    }
+
+    #[test]
+    fn coded_commit_ingests_a_fraction_of_replicated_bytes() {
+        let data = payload(64 * 1024);
+        let mut ec = ErasureStore::fresh(4, 2);
+        ec.store("k", &data, &cost()).unwrap();
+        let coded = ec.replica_set().bytes_ingested();
+
+        let mut rep = ckpt_replica::ReplicatedStore::fresh(3, 2);
+        rep.store("k", &data, &cost()).unwrap();
+        let mirrored = rep.replica_set().bytes_ingested();
+
+        // RS(4,2) moves 1.5x the payload (+ tiny headers); replication
+        // moves 3x. The coded path must land at or under 0.55x.
+        assert!(
+            (coded as f64) < 0.55 * mirrored as f64,
+            "coded {coded} vs mirrored {mirrored}"
+        );
+    }
+
+    #[test]
+    fn survives_any_m_losses_and_refuses_beyond() {
+        let data = payload(10_000);
+        for lost in 1..=2usize {
+            let mut s = ErasureStore::fresh(4, 2);
+            s.store("k", &data, &cost()).unwrap();
+            for i in 0..lost {
+                s.replica_set().node(i).fail();
+            }
+            let (bytes, _) = s.load("k", &cost()).unwrap();
+            assert_eq!(bytes, data, "lost {lost} nodes");
+        }
+        let mut s = ErasureStore::fresh(4, 2);
+        s.store("k", &data, &cost()).unwrap();
+        for i in 0..3 {
+            s.replica_set().node(i).fail();
+        }
+        assert_eq!(
+            s.load("k", &cost()),
+            Err(StorageError::TooManyShardsLost { intact: 3, needed: 4 })
+        );
+    }
+
+    #[test]
+    fn read_repair_rebuilds_dropped_and_torn_shards() {
+        let data = payload(5000);
+        let mut s = ErasureStore::fresh(4, 2);
+        s.store("k", &data, &cost()).unwrap();
+        let set = s.replica_set();
+        set.node(1).drop_key("k");
+        set.node(4).corrupt_key("k");
+        let (bytes, _) = s.load("k", &cost()).unwrap();
+        assert_eq!(bytes, data);
+        assert_eq!(s.stats().repairs, 2);
+        assert_eq!(s.stats().decodes, 1, "a data shard was lost: decode path");
+        // Both repaired shards verify by digest on a fresh probe.
+        for i in [1usize, 4] {
+            assert!(
+                matches!(set.node(i).probe("k"), Probe::Valid(_)),
+                "node {i} not repaired intact"
+            );
+        }
+        // And the next read is repair-free.
+        s.load("k", &cost()).unwrap();
+        assert_eq!(s.stats().repairs, 2);
+    }
+
+    #[test]
+    fn write_quorum_miss_rolls_the_shards_back() {
+        let mut s = ErasureStore::fresh(4, 2);
+        // w = 5 of 6: two nodes down refuse the commit.
+        s.replica_set().node(0).fail();
+        s.replica_set().node(1).fail();
+        let err = s.store("k", &payload(256), &cost()).unwrap_err();
+        assert!(matches!(err, StorageError::QuorumLost { acked: 4, needed: 5 }));
+        // Nothing leaked onto the four nodes that took shards.
+        assert_eq!(s.replica_set().bytes_ingested(), 0);
+        s.replica_set().node(0).repair();
+        s.replica_set().node(1).repair();
+        assert!(matches!(s.load("k", &cost()), Err(StorageError::NotFound(_))));
+    }
+
+    #[test]
+    fn delete_tombstones_and_reads_refuse_afterward() {
+        let mut s = ErasureStore::fresh(4, 2);
+        s.store("k", &payload(100), &cost()).unwrap();
+        s.delete("k").unwrap();
+        assert!(matches!(s.load("k", &cost()), Err(StorageError::NotFound(_))));
+        assert!(s.list().is_empty());
+    }
+
+    #[test]
+    fn batch_commit_is_one_ack_cycle_and_all_or_nothing() {
+        let mut s = ErasureStore::fresh(4, 2);
+        let objects: Vec<(String, Vec<u8>)> = (0..8)
+            .map(|i| (format!("o/{i}"), payload(300 + i * 17)))
+            .collect();
+        let refs: Vec<(&str, &[u8])> = objects
+            .iter()
+            .map(|(k, d)| (k.as_str(), d.as_slice()))
+            .collect();
+        let r = s.store_batch(&refs, &cost()).unwrap();
+        assert_eq!((r.objects, r.ack_cycles), (8, 1));
+        for (k, d) in &objects {
+            assert_eq!(&s.load(k, &cost()).unwrap().0, d);
+        }
+
+        // Quorum miss: the whole batch disappears.
+        let mut s2 = ErasureStore::fresh(4, 2);
+        s2.replica_set().node(2).fail();
+        s2.replica_set().node(3).fail();
+        assert!(s2.store_batch(&refs, &cost()).is_err());
+        s2.replica_set().node(2).repair();
+        s2.replica_set().node(3).repair();
+        for (k, _) in &objects {
+            assert!(
+                matches!(s2.load(k, &cost()), Err(StorageError::NotFound(_))),
+                "object {k} leaked from the aborted batch"
+            );
+        }
+        assert_eq!(s2.replica_set().bytes_ingested(), 0);
+    }
+
+    #[test]
+    fn commit_latency_beats_equal_survivability_replication() {
+        // RS(4,2) and replicated(3,2) both survive any single fault at
+        // read time, but the coded commit moves half the bytes.
+        let data = payload(256 * 1024);
+        let c = cost();
+        let mut ec = ErasureStore::fresh(4, 2);
+        let t_ec = ec.store("k", &data, &c).unwrap().time_ns;
+        let mut rep = ckpt_replica::ReplicatedStore::fresh(3, 2);
+        let t_rep = rep.store("k", &data, &c).unwrap().time_ns;
+        assert!(
+            t_ec < t_rep,
+            "coded commit {t_ec}ns must beat mirrored {t_rep}ns"
+        );
+    }
+}

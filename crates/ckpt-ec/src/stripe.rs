@@ -1,0 +1,321 @@
+//! An erasure-coded striped pool: K independent RS(k, m) shard groups
+//! behind one [`StableStorage`] facade, so the sharded control plane can
+//! commit its per-round batches as *coded* frames — the batching
+//! amortization of the striped replica pool at `(k + m) / k ×` the bytes
+//! instead of `N ×`.
+//!
+//! Routing reuses [`stripe_route`] verbatim (lineage-stable for image
+//! keys, digest for chunks), so damage containment is identical to the
+//! replicated striped pool: losing one stripe's shards takes out exactly
+//! the lineages mapped to it.
+
+use std::sync::Arc;
+
+use ckpt_par::Pool;
+use ckpt_replica::{stripe_route, BackoffPolicy, ReplicaSet, StripedReplicaSet};
+use ckpt_storage::{
+    BatchReceipt, ReplicaManifest, StableStorage, StorageClass, StorageError, StoreReceipt,
+};
+use simos::cost::CostModel;
+use simos::faultpoint::FaultHandle;
+use simos::trace::TraceHandle;
+
+use crate::store::{EcStats, ErasureStore};
+
+/// One client handle over K erasure-coded stripes: an [`ErasureStore`]
+/// per stripe, each with its own faultpoint namespace
+/// `ecstripe<j>/s<i>/<op>`. Single-object stores go through the framed
+/// batch path (a batch of one), mirroring the replicated striped pool.
+pub struct EcStripedStore {
+    set: Arc<StripedReplicaSet>,
+    stores: Vec<ErasureStore>,
+    k: usize,
+    m: usize,
+}
+
+impl EcStripedStore {
+    /// A pool over `set`, whose stripes must each have `k + m` nodes.
+    pub fn new(set: Arc<StripedReplicaSet>, k: usize, m: usize) -> Self {
+        let stores = set
+            .stripes()
+            .iter()
+            .enumerate()
+            .map(|(j, s)| {
+                ErasureStore::new(s.clone(), k, m).with_site_prefix(format!("ecstripe{j}"))
+            })
+            .collect();
+        EcStripedStore { set, stores, k, m }
+    }
+
+    /// Convenience: a fresh `stripes`-wide pool of RS(k, m) shard groups.
+    pub fn fresh(stripes: usize, k: usize, m: usize) -> Self {
+        EcStripedStore::new(StripedReplicaSet::new(stripes, k + m), k, m)
+    }
+
+    pub fn with_faults(mut self, faults: FaultHandle) -> Self {
+        self.stores = self
+            .stores
+            .into_iter()
+            .map(|s| s.with_faults(faults.clone()))
+            .collect();
+        self
+    }
+
+    pub fn with_trace(mut self, trace: TraceHandle) -> Self {
+        self.stores = self
+            .stores
+            .into_iter()
+            .map(|s| s.with_trace(trace.clone()))
+            .collect();
+        self
+    }
+
+    pub fn with_pool(mut self, pool: Arc<Pool>) -> Self {
+        self.stores = self
+            .stores
+            .into_iter()
+            .map(|s| s.with_pool(pool.clone()))
+            .collect();
+        self
+    }
+
+    pub fn with_backoff(mut self, backoff: BackoffPolicy) -> Self {
+        self.stores = self
+            .stores
+            .into_iter()
+            .map(|s| s.with_backoff(backoff))
+            .collect();
+        self
+    }
+
+    pub fn striped_set(&self) -> Arc<StripedReplicaSet> {
+        self.set.clone()
+    }
+
+    pub fn width(&self) -> usize {
+        self.stores.len()
+    }
+
+    pub fn stripe_set(&self, j: usize) -> Arc<ReplicaSet> {
+        self.set.stripe(j)
+    }
+
+    /// Counters summed over every stripe's client handle.
+    pub fn stats(&self) -> EcStats {
+        self.stores.iter().map(|s| s.stats()).fold(
+            EcStats::default(),
+            |a, b| EcStats {
+                commits: a.commits + b.commits,
+                retries: a.retries + b.retries,
+                decodes: a.decodes + b.decodes,
+                repairs: a.repairs + b.repairs,
+                shard_losses: a.shard_losses + b.shard_losses,
+                quorum_losses: a.quorum_losses + b.quorum_losses,
+                ack_cycles: a.ack_cycles + b.ack_cycles,
+            },
+        )
+    }
+
+    /// Batched coded commit with per-stripe receipts: objects grouped by
+    /// stripe, each group ONE framed shard batch; the aggregate time is
+    /// the maximum stripe time (independent shard groups overlap in
+    /// virtual time). All-or-nothing across stripes, exactly like the
+    /// replicated striped pool.
+    pub fn store_batch_detailed(
+        &mut self,
+        objects: &[(&str, &[u8])],
+        cost: &CostModel,
+    ) -> Result<Vec<(usize, BatchReceipt)>, StorageError> {
+        let width = self.stores.len();
+        let mut groups: Vec<Vec<(&str, &[u8])>> = vec![Vec::new(); width];
+        for &(key, data) in objects {
+            groups[stripe_route(key, width)].push((key, data));
+        }
+
+        let mut receipts: Vec<(usize, BatchReceipt)> = Vec::new();
+        for (j, group) in groups.iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            match self.stores[j].store_batch(group, cost) {
+                Ok(r) => receipts.push((j, r)),
+                Err(e) => {
+                    for &(done, _) in receipts.iter().rev() {
+                        for &(key, _) in &groups[done] {
+                            self.stores[done].retract_commit(key);
+                        }
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(receipts)
+    }
+}
+
+impl StableStorage for EcStripedStore {
+    fn class(&self) -> StorageClass {
+        StorageClass::Remote
+    }
+
+    fn label(&self) -> String {
+        format!("ecstriped({}x rs({},{}))", self.stores.len(), self.k, self.m)
+    }
+
+    fn store(
+        &mut self,
+        key: &str,
+        data: &[u8],
+        cost: &CostModel,
+    ) -> Result<StoreReceipt, StorageError> {
+        let j = stripe_route(key, self.stores.len());
+        let r = self.stores[j].store_batch(&[(key, data)], cost)?;
+        Ok(StoreReceipt {
+            key: key.to_string(),
+            bytes: r.bytes,
+            time_ns: r.time_ns,
+        })
+    }
+
+    fn load(&self, key: &str, cost: &CostModel) -> Result<(Vec<u8>, u64), StorageError> {
+        self.stores[stripe_route(key, self.stores.len())].load(key, cost)
+    }
+
+    fn delete(&mut self, key: &str) -> Result<(), StorageError> {
+        let j = stripe_route(key, self.stores.len());
+        self.stores[j].delete(key)
+    }
+
+    fn list(&self) -> Vec<String> {
+        let mut keys: Vec<String> = self.stores.iter().flat_map(|s| s.list()).collect();
+        keys.sort();
+        keys
+    }
+
+    fn available(&self) -> bool {
+        self.stores.iter().all(|s| s.available())
+    }
+
+    fn used_bytes(&self) -> u64 {
+        self.stores.iter().map(|s| s.used_bytes()).sum()
+    }
+
+    fn on_node_failure(&mut self) {
+        for s in &mut self.stores {
+            s.on_node_failure();
+        }
+    }
+
+    fn on_node_repair(&mut self) {
+        for s in &mut self.stores {
+            s.on_node_repair();
+        }
+    }
+
+    fn on_power_down(&mut self) {}
+
+    fn replica_manifest(&self, key: &str) -> Option<ReplicaManifest> {
+        self.stores[stripe_route(key, self.stores.len())].replica_manifest(key)
+    }
+
+    fn store_batch(
+        &mut self,
+        objects: &[(&str, &[u8])],
+        cost: &CostModel,
+    ) -> Result<BatchReceipt, StorageError> {
+        let receipts = self.store_batch_detailed(objects, cost)?;
+        Ok(BatchReceipt {
+            objects: receipts.iter().map(|(_, r)| r.objects).sum(),
+            bytes: receipts.iter().map(|(_, r)| r.bytes).sum(),
+            time_ns: receipts.iter().map(|(_, r)| r.time_ns).max().unwrap_or(0),
+            ack_cycles: receipts.iter().map(|(_, r)| r.ack_cycles).sum(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ckpt_storage::ImageKey;
+
+    fn cost() -> CostModel {
+        CostModel::circa_2005()
+    }
+
+    #[test]
+    fn coded_stripes_round_trip_and_amortize() {
+        let mut s = EcStripedStore::fresh(4, 4, 2);
+        let objects: Vec<(String, Vec<u8>)> = (0..16)
+            .map(|pid| (ImageKey::new("j", pid, 1).to_string(), vec![pid as u8; 1024]))
+            .collect();
+        let refs: Vec<(&str, &[u8])> = objects
+            .iter()
+            .map(|(k, d)| (k.as_str(), d.as_slice()))
+            .collect();
+        let r = s.store_batch(&refs, &cost()).unwrap();
+        assert_eq!(r.objects, 16);
+        assert!(r.ack_cycles <= 4, "one ack cycle per participating stripe");
+        for (k, d) in &objects {
+            assert_eq!(&s.load(k, &cost()).unwrap().0, d);
+        }
+    }
+
+    #[test]
+    fn cross_stripe_coded_batch_is_all_or_nothing() {
+        let mut s = EcStripedStore::fresh(2, 4, 2);
+        let objects: Vec<String> = (0..8)
+            .map(|pid| ImageKey::new("j", pid, 1).to_string())
+            .collect();
+        // Break stripe 1's shard write quorum (w = 5 of 6).
+        let set = s.striped_set();
+        set.stripe(1).node(0).fail();
+        set.stripe(1).node(1).fail();
+        let refs: Vec<(&str, &[u8])> = objects
+            .iter()
+            .map(|k| (k.as_str(), b"x".as_slice()))
+            .collect();
+        let err = s.store_batch(&refs, &cost()).unwrap_err();
+        assert!(matches!(err, StorageError::QuorumLost { .. }));
+        set.stripe(1).node(0).repair();
+        set.stripe(1).node(1).repair();
+        for k in &objects {
+            assert!(
+                matches!(s.load(k, &cost()), Err(StorageError::NotFound(_))),
+                "object {k} leaked out of the aborted cross-stripe coded batch"
+            );
+        }
+    }
+
+    #[test]
+    fn damaged_stripe_refuses_typed_and_never_bleeds() {
+        let mut s = EcStripedStore::fresh(2, 4, 2);
+        let keys: Vec<String> = (0..8)
+            .map(|pid| ImageKey::new("j", pid, 1).to_string())
+            .collect();
+        for k in &keys {
+            s.store(k, k.as_bytes(), &cost()).unwrap();
+        }
+        let set = s.striped_set();
+        // Lose three of stripe 0's shards: beyond m = 2.
+        for i in 0..3 {
+            set.stripe(0).node(i).fail();
+        }
+        for k in &keys {
+            match set.route(k) {
+                0 => assert!(
+                    matches!(
+                        s.load(k, &cost()),
+                        Err(StorageError::TooManyShardsLost { .. })
+                    ),
+                    "dead stripe must refuse {k} with the typed shard error"
+                ),
+                _ => assert_eq!(
+                    s.load(k, &cost()).unwrap().0,
+                    k.as_bytes(),
+                    "healthy stripe must still serve {k}"
+                ),
+            }
+        }
+        assert!(!s.available(), "a quorum-less stripe degrades the pool");
+    }
+}

@@ -238,11 +238,19 @@ impl ReplicaNode {
 
     /// Remove the frame under `key` only if it is still at `version` —
     /// the rollback a failed quorum write issues to its partial acks.
+    ///
+    /// The dropped frame's bytes (full or torn prefix) come back out of
+    /// `bytes_ingested`: the counter reports *committed* traffic, and a
+    /// rolled-back write never committed. Without this, a torn frame from
+    /// a failed quorum commit would inflate the C12/C16 traffic tables
+    /// with attempted bytes.
     pub fn drop_if_version(&self, key: &str, version: u64) {
         let mut s = self.state.lock();
         if s.frames.get(key).is_some_and(|f| f.version == version) {
             s.intact_memo.remove(key);
-            s.frames.remove(key);
+            if let Some(f) = s.frames.remove(key) {
+                s.bytes_ingested = s.bytes_ingested.saturating_sub(f.data.len() as u64);
+            }
         }
     }
 
@@ -273,11 +281,15 @@ impl ReplicaNode {
             .collect()
     }
 
-    /// Monotonic payload bytes this replica has accepted over its life
+    /// Payload bytes this replica has accepted for *committed* writes
     /// (torn writes count only what landed). Unlike [`used_bytes`], this
-    /// never decreases — it is the commit traffic, not the occupancy.
+    /// is commit traffic, not occupancy: deletes and rewrites don't shrink
+    /// it. The one thing that does is [`drop_if_version`] — the rollback
+    /// of a failed quorum commit retracts the attempt's bytes, so the
+    /// counter reports what committed, not what was attempted.
     ///
     /// [`used_bytes`]: ReplicaNode::used_bytes
+    /// [`drop_if_version`]: ReplicaNode::drop_if_version
     pub fn bytes_ingested(&self) -> u64 {
         self.state.lock().bytes_ingested
     }
@@ -387,6 +399,27 @@ mod tests {
         n.put_tombstone("k", 3);
         assert!(matches!(n.probe("k"), Probe::Valid(f) if f.tombstone));
         assert_eq!(n.digests_computed(), 3);
+    }
+
+    #[test]
+    fn rollback_retracts_ingested_bytes_including_torn_prefixes() {
+        let set = ReplicaSet::new(2);
+        let a = set.node(0);
+        let b = set.node(1);
+        // A full frame on one node, a torn prefix on the other — the shape
+        // a crashed quorum write leaves behind.
+        a.put("k", 5, &[1u8; 100]);
+        b.put_torn("k", 5, &[1u8; 100], 40);
+        assert_eq!(set.bytes_ingested(), 140);
+        // The failed commit rolls both back: attempted bytes come out.
+        a.drop_if_version("k", 5);
+        b.drop_if_version("k", 5);
+        assert_eq!(set.bytes_ingested(), 0, "rolled-back bytes must not count as traffic");
+        // A later committed write at a different version is untouched by a
+        // stale rollback.
+        a.put("k", 6, &[2u8; 30]);
+        a.drop_if_version("k", 5);
+        assert_eq!(a.bytes_ingested(), 30);
     }
 
     #[test]

@@ -391,6 +391,7 @@ impl StableStorage for ReplicatedStore {
                 acked,
                 n: self.cfg.n as u32,
                 w: self.cfg.w as u32,
+                coding: None,
             },
         );
         self.bump_stats(1, total_retries, 0, 0);
@@ -742,6 +743,7 @@ impl StableStorage for ReplicatedStore {
                     acked: acked.clone(),
                     n: self.cfg.n as u32,
                     w: self.cfg.w as u32,
+                    coding: None,
                 },
             );
         }

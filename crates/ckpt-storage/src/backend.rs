@@ -95,6 +95,11 @@ pub enum StorageError {
     /// (torn manifest write, checksum mismatch). Typed detection, same
     /// fallback policy as [`StorageError::MissingChunk`].
     CorruptManifest { key: String },
+    /// An erasure-coded backend found fewer than `k` intact shards at the
+    /// winning version: the object cannot be reconstructed. The operation
+    /// is refused — decoding from fewer than `k` shards would fabricate
+    /// bytes, which is silent corruption.
+    TooManyShardsLost { intact: u32, needed: u32 },
 }
 
 impl std::fmt::Display for StorageError {
@@ -114,6 +119,9 @@ impl std::fmt::Display for StorageError {
             }
             StorageError::CorruptManifest { key } => {
                 write!(f, "corrupt chunk manifest under {key}")
+            }
+            StorageError::TooManyShardsLost { intact, needed } => {
+                write!(f, "too many shards lost: {intact} intact of {needed} needed")
             }
         }
     }
@@ -144,6 +152,17 @@ pub struct BatchReceipt {
     pub ack_cycles: u64,
 }
 
+/// Erasure-coding geometry of a committed object: `k` data shards plus
+/// `m` parity shards. Redundancy overhead is `(k + m) / k` instead of a
+/// replicated backend's `n`; any `m` shard losses are survivable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CodingGeometry {
+    /// Data shards (the object splits into `k` equal pieces).
+    pub k: u32,
+    /// Parity shards (Reed-Solomon over GF(256)).
+    pub m: u32,
+}
+
 /// Where a replicated commit landed: which replicas acknowledged, under
 /// what quorum configuration, and the digest/version that identify the
 /// committed frame. Non-replicated backends never produce one.
@@ -161,6 +180,11 @@ pub struct ReplicaManifest {
     pub n: u32,
     /// Write quorum w (> N/2).
     pub w: u32,
+    /// Erasure-coding geometry, if the backend shards instead of
+    /// mirroring. `None` means `n` full copies. Coded backends set
+    /// `n = k + m` (shard-holding nodes) and `w` to the shard write
+    /// quorum, so quorum arithmetic stays meaningful either way.
+    pub coding: Option<CodingGeometry>,
 }
 
 /// A stable-storage backend.

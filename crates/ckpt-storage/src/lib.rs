@@ -16,7 +16,7 @@ pub mod inject;
 pub mod key;
 pub mod media;
 
-pub use backend::{BatchReceipt, ReplicaManifest, StableStorage, StorageClass, StorageError, StoreReceipt};
+pub use backend::{BatchReceipt, CodingGeometry, ReplicaManifest, StableStorage, StorageClass, StorageError, StoreReceipt};
 pub use key::{ImageKey, ObjectKey, ParseKeyError};
 pub use images::{
     load_chain_at, load_image, load_latest_chain, load_latest_valid_chain, prune_before, store_image,

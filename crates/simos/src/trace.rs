@@ -278,6 +278,10 @@ pub struct TraceReport {
     /// the same reason as `soft_tlb_flushes`: the replicated backend must
     /// not perturb any pre-existing pinned totals.
     pub replication: ReplicationAgg,
+    /// Erasure-coding activity (shard encodes, reconstructing decodes,
+    /// shard repairs, typed shard-loss refusals). Excluded from
+    /// `events_recorded` for the same reason as `replication`.
+    pub erasure: ErasureAgg,
 }
 
 /// Aggregated quorum-replication counters for the replicated store.
@@ -291,6 +295,20 @@ pub struct ReplicationAgg {
     pub repairs: u64,
     /// Operations refused with a typed `QuorumLost` error.
     pub quorum_losses: u64,
+}
+
+/// Aggregated Reed-Solomon counters for the erasure-coded store.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ErasureAgg {
+    /// Objects split into k data + m parity shards and committed.
+    pub encodes: u64,
+    /// Reads that needed a matrix-inversion decode (≥ 1 data shard was
+    /// lost or torn; a read with all k data shards intact concatenates).
+    pub decodes: u64,
+    /// Lost/torn shards rebuilt in place during reads (read-repair).
+    pub shard_repairs: u64,
+    /// Reads refused with a typed `TooManyShardsLost` error.
+    pub shard_losses: u64,
 }
 
 /// Aggregated worker-pool counters for parallel page encoding.
@@ -503,6 +521,21 @@ impl TraceHandle {
         d.report.replication.quorum_losses += quorum_losses;
     }
 
+    /// Accumulate erasure-coding counter deltas (plain integers so simos
+    /// stays independent of the erasure crate). Does not bump
+    /// `events_recorded` — see [`TraceReport::erasure`].
+    #[inline]
+    pub fn erasure(&self, encodes: u64, decodes: u64, shard_repairs: u64, shard_losses: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut d = self.0.data.lock().unwrap();
+        d.report.erasure.encodes += encodes;
+        d.report.erasure.decodes += decodes;
+        d.report.erasure.shard_repairs += shard_repairs;
+        d.report.erasure.shard_losses += shard_losses;
+    }
+
     /// Emit a cluster-level event.
     #[inline]
     pub fn cluster(&self, event: ClusterEvent, at_ns: u64) {
@@ -627,6 +660,21 @@ mod tests {
         assert_eq!(r.replication.retries, 1);
         assert_eq!(r.replication.repairs, 3);
         assert_eq!(r.replication.quorum_losses, 1);
+        // Must not perturb kernel counters or the recorded-event total.
+        assert_eq!(r.events_recorded, 0);
+        assert!(r.kernel.is_empty());
+    }
+
+    #[test]
+    fn erasure_counters_do_not_disturb_event_totals() {
+        let t = TraceHandle::recording();
+        t.erasure(4, 1, 0, 0);
+        t.erasure(2, 0, 3, 1);
+        let r = t.report();
+        assert_eq!(r.erasure.encodes, 6);
+        assert_eq!(r.erasure.decodes, 1);
+        assert_eq!(r.erasure.shard_repairs, 3);
+        assert_eq!(r.erasure.shard_losses, 1);
         // Must not perturb kernel counters or the recorded-event total.
         assert_eq!(r.events_recorded, 0);
         assert!(r.kernel.is_empty());

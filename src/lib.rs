@@ -19,6 +19,9 @@
 //!   dedup store with refcounted GC, and the XOR+RLE delta codec;
 //! * [`ckpt_replica`] — N-way quorum-replicated stable storage with
 //!   retry/backoff, read-repair, and typed `QuorumLost` degradation;
+//! * [`ckpt_ec`] — erasure-coded stable storage: GF(256) Reed-Solomon
+//!   shards over replica nodes, any `m` losses survivable at
+//!   `(k + m) / k ×` commit bytes instead of `N ×`;
 //! * [`ckpt_core`] — trackers, the seven mechanism families, pod
 //!   virtualization, policies, restart, and the autonomic daemon;
 //! * [`ckpt_cluster`] — the cluster/fault-injection simulator and
@@ -38,6 +41,7 @@
 pub use ckpt_cas as cas;
 pub use ckpt_cluster as cluster;
 pub use ckpt_core as ckpt;
+pub use ckpt_ec as ec;
 pub use ckpt_image as image;
 pub use ckpt_par as par;
 pub use ckpt_replica as replica;

@@ -10,8 +10,8 @@
 use ckpt_cluster::migmatrix::{migration_matrix_cells, MIGRATION_BACKEND, MIGRATION_MECHS};
 use ckpt_core::crashpoint::{
     all_configs, run_config, CellOutcome, MatrixReport, BACKENDS, DEDUP_BACKENDS, DEDUP_MECH,
-    HIBERNATE_BACKENDS, MATRIX_CELLS, REPLICATED_BACKENDS, REPLICATION_MECH, STRIPED_BACKENDS,
-    STRIPED_MECH, TRAIT_MECHANISMS,
+    ERASURE_BACKENDS, ERASURE_MECH, HIBERNATE_BACKENDS, MATRIX_CELLS, REPLICATED_BACKENDS,
+    REPLICATION_MECH, STRIPED_BACKENDS, STRIPED_MECH, TRAIT_MECHANISMS,
 };
 
 #[test]
@@ -183,6 +183,44 @@ fn full_crash_matrix_has_no_violations_and_no_panics() {
                 .iter()
                 .any(|c| c.backend == backend && c.site.starts_with("storage/striped")),
             "client-side fault sites never armed on {backend}"
+        );
+    }
+    // Coding tier: both RS geometries ran, every per-shard batch-commit
+    // admission was armed concretely (stores travel the framed shard
+    // batch path), and the client-side decorator sites show on top. Zero
+    // violations (asserted globally above) means a shard lost mid-commit
+    // always ended in a quorum rollback or a reconstructing restart —
+    // never a silently wrong reassembly.
+    for backend in ERASURE_BACKENDS {
+        assert!(
+            report
+                .cells
+                .iter()
+                .any(|c| c.mechanism == ERASURE_MECH && c.backend == backend),
+            "no cells for {ERASURE_MECH}/{backend}"
+        );
+        assert!(
+            report.cells.iter().any(|c| c.backend == backend
+                && c.site.starts_with("ec/s")
+                && c.site.contains("/batch")
+                && !matches!(c.outcome, CellOutcome::Skipped { .. })),
+            "per-shard batch-commit sites never armed concretely on {backend}"
+        );
+        assert!(
+            report
+                .cells
+                .iter()
+                .any(|c| c.backend == backend && c.site.starts_with("storage/rs(")),
+            "client-side fault sites never armed on {backend}"
+        );
+        // A single lost shard is inside every geometry's m-loss budget, so
+        // the tier must contain reconstructing restarts, not only typed
+        // detections.
+        assert!(
+            report.cells.iter().any(|c| c.backend == backend
+                && c.site.starts_with("ec/s")
+                && matches!(c.outcome, CellOutcome::Restarted { .. })),
+            "{backend}: no shard fault ever ended in a reconstructing restart"
         );
     }
     // Migration tier: both live strategies swept their cutover plus their

@@ -1,0 +1,252 @@
+//! Property tests on the erasure-coded store: random object sets coded
+//! over k data + m parity shard nodes, then subjected to adversarial
+//! per-object shard damage. The invariants:
+//!
+//! * objects with at most `m` damaged shards (dropped or corrupted, in
+//!   any mix) read back byte-identical — decode masks the damage and
+//!   read-repair leaves every touched shard digest-valid again;
+//! * objects with more than `m` damaged shards refuse with a typed
+//!   [`StorageError::TooManyShardsLost`] — never wrong bytes;
+//! * in the striped variant, mauling one stripe's shard group NEVER
+//!   bleeds into objects routed to other stripes.
+//!
+//! Cases are generated deterministically by [`common::Gen`]; a failing
+//! seed reproduces directly.
+
+mod common;
+
+use ckpt_restart::ec::{EcStripedStore, ErasureStore};
+use ckpt_restart::replica::Probe;
+use ckpt_restart::storage::{StableStorage, StorageError};
+use common::Gen;
+use simos::cost::CostModel;
+
+const CASES: u64 = 24;
+
+fn geometry(case: u64) -> (usize, usize) {
+    if case.is_multiple_of(2) {
+        (4, 2)
+    } else {
+        (8, 3)
+    }
+}
+
+/// Random object set: distinct keys (plain object keys and image-style
+/// lineage keys both appear) with random payloads.
+fn arb_objects(g: &mut Gen) -> Vec<(String, Vec<u8>)> {
+    let count = g.range(6, 17) as usize;
+    (0..count)
+        .map(|i| {
+            let key = if g.flag() {
+                format!("job{}/pid{}/seq{:08}", g.range(0, 3), i, g.range(1, 5))
+            } else {
+                format!("obj/{i}/{}", g.range(0, 1_000_000))
+            };
+            let len = g.range(1, 2048) as usize;
+            (key, g.bytes(len))
+        })
+        .collect()
+}
+
+/// Damage `count` distinct shard nodes under `key`: each victim either
+/// loses its shard frame outright or keeps a corrupted copy. Returns the
+/// victims so the caller can verify post-read repair.
+fn damage_shards(
+    g: &mut Gen,
+    set: &ckpt_restart::replica::ReplicaSet,
+    key: &str,
+    count: usize,
+) -> Vec<usize> {
+    let n = set.len();
+    let mut victims: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = g.range(0, (i + 1) as u64) as usize;
+        victims.swap(i, j);
+    }
+    victims.truncate(count);
+    for &r in &victims {
+        if g.flag() {
+            set.node(r).drop_key(key);
+        } else {
+            set.node(r).corrupt_key(key);
+        }
+    }
+    victims
+}
+
+#[test]
+fn shard_damage_within_m_is_masked_and_typed_beyond() {
+    let cost = CostModel::circa_2005();
+    let mut lost_objects = 0u64;
+    let mut healthy_objects = 0u64;
+    for case in 0..CASES {
+        let mut g = Gen::new(93_000 + case);
+        let (k, m) = geometry(case);
+        let mut store = ErasureStore::fresh(k, m);
+        let objects = arb_objects(&mut g);
+        // Mix the two commit paths: single stores and one framed batch.
+        let (head, tail) = objects.split_at(objects.len() / 2);
+        for (key, payload) in head {
+            store.store(key, payload, &cost).unwrap();
+        }
+        if !tail.is_empty() {
+            let batch: Vec<(&str, &[u8])> = tail
+                .iter()
+                .map(|(k, p)| (k.as_str(), p.as_slice()))
+                .collect();
+            store.store_batch(&batch, &cost).unwrap();
+        }
+
+        // Adversary: each object independently draws a damage level —
+        // within tolerance (0..=m) or exactly one past it (m + 1 shards
+        // gone leaves k − 1 intact, so the decode must *notice* the
+        // shortfall rather than run on whatever it can reach).
+        let set = store.replica_set();
+        let mut damaged: Vec<(usize, Vec<usize>)> = Vec::new();
+        for (key, _) in &objects {
+            let level = g.range(0, (m + 2) as u64) as usize;
+            let victims = if level > 0 {
+                damage_shards(&mut g, &set, key, level)
+            } else {
+                Vec::new()
+            };
+            damaged.push((level, victims));
+        }
+
+        for ((key, payload), (level, victims)) in objects.iter().zip(&damaged) {
+            if *level <= m {
+                // Tolerated damage: byte-identical read, and read-repair
+                // must leave every victim holding a digest-valid shard.
+                let (bytes, _) = store.load(key, &cost).unwrap_or_else(|e| {
+                    panic!("case {case}: {level} of {m} tolerated losses refused {key}: {e}")
+                });
+                assert_eq!(
+                    &bytes, payload,
+                    "case {case}: rs({k},{m}) returned wrong bytes for {key}"
+                );
+                for &r in victims {
+                    assert!(
+                        matches!(set.node(r).probe(key), Probe::Valid(_)),
+                        "case {case}: shard {r} of {key} not repaired after read"
+                    );
+                }
+                healthy_objects += 1;
+            } else {
+                // Fewer than k shards intact: typed refusal, never bytes.
+                match store.load(key, &cost) {
+                    Err(StorageError::TooManyShardsLost { intact, needed }) => {
+                        assert!(
+                            (intact as usize) < k && needed as usize == k,
+                            "case {case}: nonsensical shard arithmetic {intact}/{needed}"
+                        );
+                        lost_objects += 1;
+                    }
+                    Ok(_) => panic!(
+                        "case {case}: {key} lost {level} > m = {m} shards but a read succeeded"
+                    ),
+                    Err(other) => panic!(
+                        "case {case}: expected TooManyShardsLost for {key}, got {other}"
+                    ),
+                }
+            }
+        }
+    }
+    // The sweep actually exercised both sides of the boundary.
+    assert!(lost_objects > 0, "adversary never exceeded the coding tolerance");
+    assert!(healthy_objects > 0, "adversary never left a decodable object");
+}
+
+#[test]
+fn node_failstop_within_m_leaves_every_object_readable() {
+    // The coarsest adversary: power off whole shard nodes. Up to m dead
+    // nodes cost nothing observable but reconstruction work; the
+    // (m + 1)-th makes every object refuse with a typed error.
+    let cost = CostModel::circa_2005();
+    for case in 0..CASES {
+        let mut g = Gen::new(94_000 + case);
+        let (k, m) = geometry(case);
+        let mut store = ErasureStore::fresh(k, m);
+        let objects = arb_objects(&mut g);
+        for (key, payload) in &objects {
+            store.store(key, payload, &cost).unwrap();
+        }
+        let set = store.replica_set();
+        let mut order: Vec<usize> = (0..k + m).collect();
+        for i in (1..order.len()).rev() {
+            let j = g.range(0, (i + 1) as u64) as usize;
+            order.swap(i, j);
+        }
+        for &r in order.iter().take(m) {
+            set.node(r).fail();
+        }
+        for (key, payload) in &objects {
+            let (bytes, _) = store.load(key, &cost).unwrap_or_else(|e| {
+                panic!("case {case}: rs({k},{m}) refused {key} with {m} nodes down: {e}")
+            });
+            assert_eq!(
+                &bytes, payload,
+                "case {case}: wrong bytes for {key} with {m} nodes down"
+            );
+        }
+        set.node(order[m]).fail();
+        let (probe_key, _) = &objects[g.range(0, objects.len() as u64) as usize];
+        match store.load(probe_key, &cost) {
+            Err(StorageError::TooManyShardsLost { intact, needed }) => {
+                assert!(
+                    (intact as usize) < k && needed as usize == k,
+                    "case {case}: nonsensical shard arithmetic {intact}/{needed}"
+                );
+            }
+            other => panic!(
+                "case {case}: {} nodes down must refuse typed, got {other:?}",
+                m + 1
+            ),
+        }
+    }
+}
+
+#[test]
+fn stripe_group_damage_never_bleeds_across_stripes() {
+    // EC-striped variant: kill one stripe's shard group past its coding
+    // tolerance. Objects routed there refuse typed; every object on the
+    // other stripes stays byte-identical.
+    let cost = CostModel::circa_2005();
+    for case in 0..CASES {
+        let mut g = Gen::new(95_000 + case);
+        let (k, m) = geometry(case);
+        let stripes = [2usize, 3, 4][(case % 3) as usize];
+        let mut store = EcStripedStore::fresh(stripes, k, m);
+        let objects = arb_objects(&mut g);
+        for (key, payload) in &objects {
+            store.store(key, payload, &cost).unwrap();
+        }
+        let set = store.striped_set();
+        let dead = g.range(0, stripes as u64) as usize;
+        for r in 0..=m {
+            set.stripe(dead).node(r).fail();
+        }
+        for (key, payload) in &objects {
+            if set.route(key) == dead {
+                match store.load(key, &cost) {
+                    Err(StorageError::TooManyShardsLost { intact, needed }) => {
+                        assert!(
+                            (intact as usize) < k && needed as usize == k,
+                            "case {case}: nonsensical shard arithmetic {intact}/{needed}"
+                        );
+                    }
+                    other => panic!(
+                        "case {case}: dead stripe {dead} must refuse {key} typed, got {other:?}"
+                    ),
+                }
+            } else {
+                let (bytes, _) = store.load(key, &cost).unwrap_or_else(|e| {
+                    panic!("case {case}: healthy stripe refused {key}: {e}")
+                });
+                assert_eq!(
+                    &bytes, payload,
+                    "case {case}: dead stripe {dead} bled into {key}"
+                );
+            }
+        }
+    }
+}
