@@ -1,0 +1,27 @@
+use ckpt_ec::ErasureStore;
+use ckpt_storage::{StableStorage, StorageError};
+use simos::cost::CostModel;
+
+#[test]
+fn failed_overwrite_destroys_previously_committed_value() {
+    let cost = CostModel::circa_2005();
+    let mut s = ErasureStore::fresh(4, 2);
+    let v1 = vec![7u8; 4096];
+    s.store("k", &v1, &cost).unwrap();
+    // v1 is committed on all 6 nodes and readable.
+    assert_eq!(s.load("k", &cost).unwrap().0, v1);
+
+    // Two shard nodes go down; an overwrite attempt misses quorum (needs 5).
+    s.replica_set().node(4).fail();
+    s.replica_set().node(5).fail();
+    let err = s.store("k", &vec![9u8; 4096], &cost).unwrap_err();
+    assert!(matches!(err, StorageError::QuorumLost { .. }));
+
+    // Nodes come back; the old committed value should still be readable.
+    s.replica_set().node(4).repair();
+    s.replica_set().node(5).repair();
+    match s.load("k", &cost) {
+        Ok((bytes, _)) => assert_eq!(bytes, v1, "wrong bytes back"),
+        Err(e) => panic!("previously committed value lost after failed overwrite: {e}"),
+    }
+}
