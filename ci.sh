@@ -101,7 +101,7 @@ echo '== perf gate: report timings =='
 # the 20 s ceiling is generous slack for slow runners while still catching
 # a translation-cache regression.
 ./target/release/report timings
-C7A_WALL=$(grep '"c7a_cluster_mechanistic"' BENCH_report.json | awk -F'"wall_s": ' '{print $2}' | awk -F',' '{print $1}')
+C7A_WALL=$(grep '"c7a_cluster_mechanistic"' BENCH_report.json | awk -F'"wall_s": ' '{print $2}' | tr -d '},')
 echo "c7a wall-clock: ${C7A_WALL}s (ceiling 20s)"
 awk -v w="$C7A_WALL" 'BEGIN { exit !(w < 20.0) }' || {
     echo "FAIL: c7a_cluster_mechanistic took ${C7A_WALL}s (> 20s) — software-TLB regression?"
@@ -118,7 +118,7 @@ awk -v w="$C7A_WALL" 'BEGIN { exit !(w < 20.0) }' || {
 # The c14 scale sweep's wall-clock delta is printed on every run (not
 # just on failure): it is the one experiment whose cost scales with the
 # simulated node count, so drift shows up here first.
-C14_WALL=$(grep '"c14_shard"' BENCH_report.json | awk -F'"wall_s": ' '{print $2}' | awk -F',' '{print $1}')
+C14_WALL=$(grep '"c14_shard"' BENCH_report.json | awk -F'"wall_s": ' '{print $2}' | tr -d '},')
 C14_DELTA=$(awk -v w="$C14_WALL" 'BEGIN { printf "%+.3f", w - 0.516 }')
 echo "c14_shard wall-clock: ${C14_WALL}s (baseline 0.516s, delta ${C14_DELTA}s)"
 
@@ -155,12 +155,58 @@ awk -v w="$TOTAL_WALL" -v c="$TOTAL_CEILING" 'BEGIN { exit !(w < c) }' || {
     }
     grep '"name"' BENCH_report.json | while read -r line; do
         name=$(echo "$line" | awk -F'"name": "' '{print $2}' | awk -F'"' '{print $1}')
-        wall=$(echo "$line" | awk -F'"wall_s": ' '{print $2}' | awk -F',' '{print $1}')
+        wall=$(echo "$line" | awk -F'"wall_s": ' '{print $2}' | tr -d '},')
         base=$(baseline_wall "$name")
         delta=$(awk -v w="$wall" -v b="$base" 'BEGIN { printf "%+.3f", w - b }')
         echo "  ${name}: ${wall}s (baseline ${base}s, delta ${delta}s)"
     done
     exit 1
 }
+
+echo '== sweep gate: canonical artifacts + structural goldens + per-plan perf deltas =='
+# The sweep engine's determinism contract — same plan + seed gives
+# byte-identical canonical JSON at any pool width and any job submission
+# order — is enforced by the property tests (they re-run `report sweep`
+# in subprocesses at widths 1/4/8). The structural golden tests for
+# C12/C14/C16 already gate in their tiers above and name the first
+# divergent path on a mismatch; the byte compare here is the cheap
+# belt-and-suspenders over the exact committed files. This step also
+# writes the artifacts CI archives (SWEEP_cXX.json + RUNBOOK.json, repo
+# root) and prints each plan's wall-clock against its pinned baseline so
+# perf drift is attributable to one sweep plan, not "the suite got slow".
+cargo test -q -p ckpt-bench --test sweep_properties
+cargo test -q -p ckpt-bench --test artifact_schema
+SWEEP_OUT=$(./target/release/report sweep --out .)
+echo "$SWEEP_OUT"
+for f in SWEEP_c12.json SWEEP_c14.json SWEEP_c16.json; do
+    cmp -s "$f" "crates/bench/goldens/$f" || {
+        echo "FAIL: regenerated $f differs from crates/bench/goldens/$f"
+        echo "      (the golden test for it names the first divergent path)"
+        exit 1
+    }
+done
+baseline_plan_wall() {
+    case "$1" in
+        c12.survivability)  echo 0.034 ;;
+        c12.latency)        echo 0.013 ;;
+        c12.transients)     echo 0.008 ;;
+        c14.cluster)        echo 0.087 ;;
+        c14.nodes)          echo 0.176 ;;
+        c14.shards)         echo 0.139 ;;
+        c14.stripes)        echo 0.141 ;;
+        c16.traffic)        echo 0.102 ;;
+        c16.latency)        echo 0.043 ;;
+        c16.survivability)  echo 0.025 ;;
+        c16.reconstruction) echo 0.011 ;;
+        c16.availability)   echo 0.000 ;;
+        *)                  echo 0.000 ;;
+    esac
+}
+echo "$SWEEP_OUT" | grep '^  plan ' | while read -r _ name rest; do
+    wall=$(echo "$rest" | sed 's/.*wall_s=//' | tr -d ')')
+    base=$(baseline_plan_wall "$name")
+    delta=$(awk -v w="$wall" -v b="$base" 'BEGIN { printf "%+.3f", w - b }')
+    echo "  ${name}: ${wall}s (baseline ${base}s, delta ${delta}s)"
+done
 
 echo 'CI OK'

@@ -34,14 +34,60 @@ fn run_all_timed() -> String {
     parts.join("\n")
 }
 
+/// `report sweep [--out DIR]`: run every swept experiment, write the
+/// canonical `SWEEP_cXX.json` artifacts plus the `RUNBOOK.json`
+/// manifest, and print the per-cell wall-clock so CI can attribute a
+/// perf regression to the specific sweep cell that moved.
+fn run_sweep_cmd(out_dir: &std::path::Path) -> std::io::Result<String> {
+    use bench::artifact::canonical_document;
+    use bench::runbook::{build_runbook, ArtifactEntry};
+    use bench::sweep::sweep_artifact;
+
+    std::fs::create_dir_all(out_dir)?;
+    let batch = bench::swept::sweep_batch();
+    let mut out = String::new();
+    for (exp, file, runs) in &batch {
+        let doc = canonical_document(&sweep_artifact(runs));
+        std::fs::write(out_dir.join(file), &doc)?;
+        out.push_str(&format!("{exp} -> {file} ({} bytes)\n", doc.len()));
+        for run in runs {
+            let wall: f64 = run.cell_walls.iter().map(|(_, w)| w).sum();
+            out.push_str(&format!(
+                "  plan {} ({} jobs, plan_hash {}, wall_s={wall:.3})\n",
+                run.plan_name,
+                run.jobs.len(),
+                run.plan_hash,
+            ));
+            for (label, w) in &run.cell_walls {
+                out.push_str(&format!("    cell {} {label} wall_s={w:.3}\n", run.plan_name));
+            }
+        }
+    }
+    let entries: Vec<ArtifactEntry<'_>> = batch
+        .iter()
+        .map(|(exp, file, runs)| ArtifactEntry {
+            experiment: exp,
+            file: file.clone(),
+            runs,
+        })
+        .collect();
+    let rb = build_runbook(&entries);
+    let rb_doc = canonical_document(&rb);
+    std::fs::write(out_dir.join("RUNBOOK.json"), &rb_doc)?;
+    let total = rb.get("total_jobs").and_then(|j| j.as_u64()).unwrap_or(0);
+    out.push_str(&format!("RUNBOOK.json ({total} jobs total)"));
+    Ok(out)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let which = args.first().map(|s| s.as_str()).unwrap_or("all");
     let timed = args.iter().any(|a| a == "--timings");
     let out = match which {
         "list" => {
-            println!("experiments: table1 figure1 c1 c2 c3 c3b c4 c5 c6 c7a c7b c8 c9 c10 c11 c12 c13 c14 c15 c16 trace timings all");
+            println!("experiments: table1 figure1 c1 c2 c3 c3b c4 c5 c6 c7a c7b c8 c9 c10 c11 c12 c13 c14 c15 c16 trace timings sweep all");
             println!("(c11 crash matrix, c12 replication, c13 dedup, c14 shard, c15 livemig, c16 erasure are standalone — not part of `all`)");
+            println!("(sweep writes the canonical SWEEP_cXX.json artifacts and the RUNBOOK.json manifest; --out DIR picks the directory)");
             return;
         }
         "table1" | "t1" => bench::t1_table(),
@@ -72,6 +118,21 @@ fn main() {
                 std::process::exit(1);
             }
         },
+        "sweep" => {
+            let out_dir = args
+                .iter()
+                .position(|a| a == "--out")
+                .and_then(|i| args.get(i + 1))
+                .map(std::path::PathBuf::from)
+                .unwrap_or_else(|| std::path::PathBuf::from("."));
+            match run_sweep_cmd(&out_dir) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("could not write sweep artifacts: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
         "all" if timed => run_all_timed(),
         "all" => bench::run_all(),
         other => {

@@ -6,8 +6,12 @@
 //! `report` binary prints them, and the test/bench suites call the same
 //! functions — the published numbers are the tested numbers.
 
+pub mod artifact;
 pub mod experiments;
 pub mod fmt;
+pub mod runbook;
+pub mod sweep;
+pub mod swept;
 pub mod timing;
 
 pub use experiments::*;

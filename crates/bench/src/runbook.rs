@@ -1,0 +1,96 @@
+//! The RunBook: a reproducibility manifest over one batch of sweep
+//! artifacts.
+//!
+//! The RunBook is the one document a reviewer needs to re-run and verify a
+//! sweep batch: which plans ran (name + plan hash), which artifact holds
+//! each plan's report (name + content hash of the canonical bytes), every
+//! job seed, and the engine version that produced it all. It is itself a
+//! canonical artifact — no timestamps, no hostnames, nothing
+//! non-deterministic — so two honest runs of the same tree produce
+//! byte-identical RunBooks, and CI can diff them like any other artifact.
+
+use crate::artifact::{canonical_document, fnv1a64_hex, Json};
+use crate::sweep::{sweep_artifact, SweepRun, ENGINE};
+
+/// One experiment's artifact entry: the experiment name (`c16`), the
+/// artifact file it is written to, and the sweep runs inside it.
+pub struct ArtifactEntry<'a> {
+    pub experiment: &'a str,
+    pub file: String,
+    pub runs: &'a [SweepRun],
+}
+
+/// Assemble the RunBook over a batch of sweep artifacts.
+pub fn build_runbook(entries: &[ArtifactEntry<'_>]) -> Json {
+    let mut artifacts = Vec::new();
+    let mut total_jobs = 0u64;
+    for e in entries {
+        let bytes = canonical_document(&sweep_artifact(e.runs));
+        let plans: Vec<Json> = e
+            .runs
+            .iter()
+            .map(|r| {
+                total_jobs += r.jobs.len() as u64;
+                Json::obj(vec![
+                    ("jobs", Json::from(r.jobs.len())),
+                    ("name", Json::Str(r.plan_name.clone())),
+                    ("plan_hash", Json::Str(r.plan_hash.clone())),
+                    (
+                        "seeds",
+                        Json::Arr(r.jobs.iter().map(|j| Json::from(j.spec.seed)).collect()),
+                    ),
+                ])
+            })
+            .collect();
+        artifacts.push(Json::obj(vec![
+            ("content_hash", Json::Str(fnv1a64_hex(bytes.as_bytes()))),
+            ("experiment", Json::from(e.experiment)),
+            ("file", Json::Str(e.file.clone())),
+            ("plans", Json::Arr(plans)),
+        ]));
+    }
+    Json::obj(vec![
+        ("artifacts", Json::Arr(artifacts)),
+        ("engine", Json::from(ENGINE)),
+        ("total_jobs", Json::from(total_jobs)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::{run_sweep, SweepPlan};
+
+    #[test]
+    fn runbook_pins_plan_and_artifact_hashes() {
+        let plan = SweepPlan::new("rb-test").seed(3).axis_ints("x", &[1, 2, 3]);
+        let run = run_sweep(&plan, |j| Json::obj(vec![("x2", Json::from((j.int("x") * 2) as u64))]));
+        let runs = [run];
+        let rb = build_runbook(&[ArtifactEntry {
+            experiment: "demo",
+            file: "SWEEP_demo.json".into(),
+            runs: &runs,
+        }]);
+        let text = canonical_document(&rb);
+        let parsed = crate::artifact::parse_document(&text).expect("parse");
+        assert!(parsed.keys_sorted);
+        let arts = rb.get("artifacts").and_then(Json::as_arr).expect("artifacts");
+        assert_eq!(arts.len(), 1);
+        let entry = arts[0].as_obj().expect("entry");
+        // The content hash is the hash of the artifact's canonical bytes.
+        let bytes = canonical_document(&sweep_artifact(&runs));
+        assert_eq!(
+            entry.get("content_hash").and_then(Json::as_str),
+            Some(fnv1a64_hex(bytes.as_bytes()).as_str())
+        );
+        assert_eq!(rb.get("total_jobs").and_then(|j| j.as_u64()), Some(3));
+        // Seeds are echoed per plan, one per job.
+        let seeds = arts[0]
+            .get("plans")
+            .and_then(Json::as_arr)
+            .and_then(|p| p[0].get("seeds"))
+            .and_then(Json::as_arr)
+            .expect("seeds");
+        assert_eq!(seeds.len(), 3);
+    }
+}

@@ -38,18 +38,21 @@ pub fn measure_all() -> Vec<ExperimentTiming> {
         .collect()
 }
 
-/// Render timings as JSON. One `{"name": ..., "wall_s": ...}` object per
-/// line inside the array so line tools (the CI gate uses grep/awk) can pull
-/// a single experiment without a JSON parser.
+/// Render timings as JSON. One `{"name": ..., "output_bytes": ...,
+/// "wall_s": ...}` object per line inside the array so line tools (the CI
+/// gate uses grep/awk) can pull a single experiment without a JSON
+/// parser. Keys are sorted and floats fixed at three decimals — the same
+/// canonical-form rules the sweep artifacts follow (see DESIGN.md), so
+/// CI diffs of the file are stable.
 pub fn timings_json(timings: &[ExperimentTiming]) -> String {
     let total: f64 = timings.iter().map(|t| t.wall_s).sum();
     let mut s = String::from("{\n  \"experiments\": [\n");
     for (i, t) in timings.iter().enumerate() {
         s.push_str(&format!(
-            "    {{\"name\": \"{}\", \"wall_s\": {:.3}, \"output_bytes\": {}}}{}\n",
+            "    {{\"name\": \"{}\", \"output_bytes\": {}, \"wall_s\": {:.3}}}{}\n",
             t.name,
-            t.wall_s,
             t.output_bytes,
+            t.wall_s,
             if i + 1 < timings.len() { "," } else { "" }
         ));
     }

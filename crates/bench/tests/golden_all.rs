@@ -17,14 +17,7 @@
 const GOLDEN_FNV1A64: u64 = 0x10b5_9ccb_4d6b_76f7;
 const GOLDEN_BYTES: usize = 18554;
 
-fn fnv1a64(data: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &b in data {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x100_0000_01b3);
-    }
-    h
-}
+use ckpt_bench::artifact::fnv1a64;
 
 #[test]
 fn report_all_output_matches_pre_fast_path_baseline() {

@@ -13,14 +13,7 @@
 const GOLDEN_FNV1A64: u64 = 0x7a08_87e2_ece8_5d9c;
 const GOLDEN_BYTES: usize = 4580;
 
-fn fnv1a64(data: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &b in data {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x100_0000_01b3);
-    }
-    h
-}
+use ckpt_bench::artifact::fnv1a64;
 
 #[test]
 fn report_c11_output_matches_pinned_baseline() {

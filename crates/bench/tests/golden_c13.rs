@@ -16,14 +16,7 @@
 const GOLDEN_FNV1A64: u64 = 0xcac3_ef95_d26f_3334;
 const GOLDEN_BYTES: usize = 2154;
 
-fn fnv1a64(data: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &b in data {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x100_0000_01b3);
-    }
-    h
-}
+use ckpt_bench::artifact::fnv1a64;
 
 #[test]
 fn report_c13_output_matches_pinned_baseline() {

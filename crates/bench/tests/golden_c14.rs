@@ -1,54 +1,46 @@
-//! Golden regression pin for `report c14`, the sharded control plane.
+//! Structural golden pin for C14, the sharded control plane.
 //!
-//! Everything in the report is deterministic by construction: the
-//! cluster section's guests are seeded, the scale model draws payloads
-//! from splitmix64, fault admission runs sequentially in replica order,
-//! and only pure payload encodes fan out on the pool behind an ordered
-//! merge — so the full output pins byte-for-byte at any worker count.
-//! A moved hash means the shard protocol, batch frame format, stripe
-//! routing, or ack accounting changed observable behavior and must be
-//! reviewed, not waved through.
+//! C14 runs on the sweep engine and emits a canonical JSON artifact
+//! (`goldens/SWEEP_c14.json`); this test diffs the regenerated artifact
+//! against the golden *structurally* — a mismatch names the first
+//! divergent path and both values
+//! (`c14.nodes.jobs[3].metrics.round_ns: 1234 != 1250`) instead of
+//! "hash mismatch". Everything in the artifact is deterministic by
+//! construction: the cluster section's guests are seeded, the scale
+//! model draws payloads from splitmix64, and only pure payload encodes
+//! fan out on the pool behind an ordered merge — so the bytes pin at
+//! any worker count.
 //!
-//! If an *intentional* change lands, regenerate: hash
-//! `./target/release/report c14`'s stdout with the FNV-1a 64 below and
-//! update both constants in the same commit.
+//! If an *intentional* change lands, regenerate:
+//! `./target/release/report sweep --out crates/bench/goldens/` (then
+//! drop the RUNBOOK/other artifacts) and commit the new golden with the
+//! reason in the same commit.
 
+use ckpt_bench::artifact::{canonical_document, first_divergence, fnv1a64, parse_document};
+use ckpt_bench::sweep::sweep_artifact;
 use std::process::Command;
 
-const GOLDEN_FNV1A64: u64 = 0x5b45_2dad_1681_2c35;
-const GOLDEN_BYTES: usize = 4817;
-
-fn fnv1a64(data: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &b in data {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x100_0000_01b3);
-    }
-    h
-}
+const GOLDEN: &str = include_str!("../goldens/SWEEP_c14.json");
 
 #[test]
-fn report_c14_output_matches_pinned_baseline() {
-    // Exactly what the report binary prints: c14_shard() + "\n".
-    let out = format!("{}\n", ckpt_bench::c14_shard());
-    assert_eq!(
-        out.len(),
-        GOLDEN_BYTES,
-        "report c14 output length changed — shard report no longer baseline"
-    );
-    assert_eq!(
-        fnv1a64(out.as_bytes()),
-        GOLDEN_FNV1A64,
-        "report c14 output bytes changed — shard report no longer baseline"
-    );
+fn c14_artifact_matches_structural_golden() {
+    let golden = parse_document(GOLDEN).expect("golden parses");
+    assert!(golden.keys_sorted, "golden must be canonical (sorted keys)");
+    let actual_doc = canonical_document(&sweep_artifact(&ckpt_bench::swept::c14_sweeps()));
+    let actual = parse_document(&actual_doc).expect("artifact parses");
+    if let Some(d) = first_divergence("c14", &golden.value, &actual.value) {
+        panic!("C14 sweep artifact diverged from golden: {d}");
+    }
+    assert_eq!(actual_doc, GOLDEN, "artifact bytes moved without a structural diff");
 }
 
 #[test]
 fn report_c14_is_pool_width_invariant() {
-    // The determinism discipline's observable contract: the report's
-    // bytes cannot depend on how many workers the pool runs. Each width
-    // runs in its own process because the global pool latches its size
-    // once.
+    // The determinism discipline's observable contract: the rendered
+    // report's bytes cannot depend on how many workers the pool runs.
+    // Each width runs in its own process because the global pool latches
+    // its size once. (The sweep-artifact counterpart of this test lives
+    // in sweep_properties.rs.)
     let mut outputs = Vec::new();
     for width in ["1", "4", "8"] {
         let out = Command::new(env!("CARGO_BIN_EXE_report"))
@@ -61,7 +53,6 @@ fn report_c14_is_pool_width_invariant() {
     }
     assert_eq!(outputs[0], outputs[1], "width 1 vs 4 outputs differ");
     assert_eq!(outputs[1], outputs[2], "width 4 vs 8 outputs differ");
-    assert_eq!(fnv1a64(&outputs[0]), GOLDEN_FNV1A64, "subprocess output off baseline");
 }
 
 #[test]

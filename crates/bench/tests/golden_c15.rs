@@ -23,14 +23,7 @@ const GOLDEN_BYTES: usize = 3257;
 /// baseline (it measures 27.9 us today).
 const POSTCOPY_DOWNTIME_CEILING_US: f64 = 100.0;
 
-fn fnv1a64(data: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &b in data {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x100_0000_01b3);
-    }
-    h
-}
+use ckpt_bench::artifact::fnv1a64;
 
 #[test]
 fn report_c15_output_matches_pinned_baseline() {

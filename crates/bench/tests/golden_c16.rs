@@ -1,55 +1,46 @@
-//! Golden regression pin for `report c16`, the erasure-coded storage
-//! engine.
+//! Structural golden pin for C16, the erasure-coded storage engine.
 //!
-//! Everything in the report is deterministic by construction: the guest
-//! lineages are seeded, GF(256) arithmetic is table-driven, fault
-//! admission runs sequentially in shard-node order, and only pure work —
-//! parity-row encodes and per-node frame copies — fans out on the pool
-//! behind an ordered merge. So the full output pins byte-for-byte at any
-//! worker count. A moved hash means the code matrix, shard frame format,
-//! quorum arithmetic, or repair accounting changed observable behavior
-//! and must be reviewed, not waved through.
+//! C16 runs on the sweep engine and emits a canonical JSON artifact
+//! (`goldens/SWEEP_c16.json`); this test diffs the regenerated artifact
+//! against the golden *structurally* — a mismatch names the first
+//! divergent path and both values
+//! (`c16.traffic.jobs[1].metrics.coded_bytes_42: 4096 != 4160`) instead
+//! of "hash mismatch". Everything in the artifact is deterministic by
+//! construction: the guest lineages are seeded, GF(256) arithmetic is
+//! table-driven, fault admission runs sequentially in shard-node order,
+//! and only pure work fans out on the pool behind an ordered merge — so
+//! the bytes pin at any worker count.
 //!
-//! If an *intentional* change lands, regenerate: hash
-//! `./target/release/report c16`'s stdout with the FNV-1a 64 below and
-//! update both constants in the same commit.
+//! If an *intentional* change lands, regenerate:
+//! `./target/release/report sweep --out crates/bench/goldens/` (then
+//! drop the RUNBOOK/other artifacts) and commit the new golden with the
+//! reason in the same commit.
 
+use ckpt_bench::artifact::{canonical_document, first_divergence, parse_document};
+use ckpt_bench::sweep::sweep_artifact;
 use std::process::Command;
 
-const GOLDEN_FNV1A64: u64 = 0xebe1_4b9e_ecc8_86c0;
-const GOLDEN_BYTES: usize = 4326;
-
-fn fnv1a64(data: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &b in data {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x100_0000_01b3);
-    }
-    h
-}
+const GOLDEN: &str = include_str!("../goldens/SWEEP_c16.json");
 
 #[test]
-fn report_c16_output_matches_pinned_baseline() {
-    // Exactly what the report binary prints: c16_erasure() + "\n".
-    let out = format!("{}\n", ckpt_bench::c16_erasure());
-    assert_eq!(
-        out.len(),
-        GOLDEN_BYTES,
-        "report c16 output length changed — erasure report no longer baseline"
-    );
-    assert_eq!(
-        fnv1a64(out.as_bytes()),
-        GOLDEN_FNV1A64,
-        "report c16 output bytes changed — erasure report no longer baseline"
-    );
+fn c16_artifact_matches_structural_golden() {
+    let golden = parse_document(GOLDEN).expect("golden parses");
+    assert!(golden.keys_sorted, "golden must be canonical (sorted keys)");
+    let actual_doc = canonical_document(&sweep_artifact(&ckpt_bench::swept::c16_sweeps()));
+    let actual = parse_document(&actual_doc).expect("artifact parses");
+    if let Some(d) = first_divergence("c16", &golden.value, &actual.value) {
+        panic!("C16 sweep artifact diverged from golden: {d}");
+    }
+    assert_eq!(actual_doc, GOLDEN, "artifact bytes moved without a structural diff");
 }
 
 #[test]
 fn report_c16_is_pool_width_invariant() {
-    // The determinism discipline's observable contract: the report's
-    // bytes cannot depend on how many workers encode parity rows. Each
-    // width runs in its own process because the global pool latches its
-    // size once.
+    // The determinism discipline's observable contract: the rendered
+    // report's bytes cannot depend on how many workers encode parity
+    // rows. Each width runs in its own process because the global pool
+    // latches its size once. (The sweep-artifact counterpart of this
+    // test lives in sweep_properties.rs.)
     let mut outputs = Vec::new();
     for width in ["1", "4", "8"] {
         let out = Command::new(env!("CARGO_BIN_EXE_report"))
@@ -62,7 +53,6 @@ fn report_c16_is_pool_width_invariant() {
     }
     assert_eq!(outputs[0], outputs[1], "width 1 vs 4 outputs differ");
     assert_eq!(outputs[1], outputs[2], "width 4 vs 8 outputs differ");
-    assert_eq!(fnv1a64(&outputs[0]), GOLDEN_FNV1A64, "subprocess output off baseline");
 }
 
 #[test]

@@ -693,6 +693,26 @@ impl StableStorage for ErasureStore {
             })
             .collect();
 
+        // Pre-write snapshots: the frame each writing node holds under
+        // each key *before* the batch fans out. `put` replaces a node's
+        // frame in place, so a failed quorum needs these to roll back to
+        // the committed state instead of leaving the node empty — losing
+        // old shards on an overwrite that also failed to commit would
+        // turn a transient outage into data loss once `k` nodes took it.
+        let priors: Vec<Vec<Option<Frame>>> = cmds
+            .iter()
+            .map(|(i, cmd)| {
+                if *cmd == WriteCmd::Skip {
+                    Vec::new()
+                } else {
+                    objects
+                        .iter()
+                        .map(|(key, _)| self.set.node(*i).snapshot_frame(key))
+                        .collect()
+                }
+            })
+            .collect();
+
         // Phase 2 (pool fan-out): pure copies, one node per work item.
         let set = self.set.clone();
         let per_object = &per_object;
@@ -744,11 +764,18 @@ impl StableStorage for ErasureStore {
         if acked.len() < self.w {
             // All-or-nothing: peel every object's shards back off the
             // nodes that took them (torn prefixes included — their nodes
-            // are down, but `drop_if_version` keeps the traffic counter
-            // honest when they come back).
-            for (i, _) in cmds.iter().filter(|(_, c)| *c != WriteCmd::Skip) {
+            // are down, but the rollback keeps the traffic counter honest
+            // when they come back) and reinstate each node's pre-write
+            // frame, so a refused overwrite leaves the previously
+            // committed shard set exactly where it was.
+            for (idx, (i, cmd)) in cmds.iter().enumerate() {
+                if *cmd == WriteCmd::Skip {
+                    continue;
+                }
                 for (j, (key, _)) in objects.iter().enumerate() {
-                    self.set.node(*i).drop_if_version(key, versions[j]);
+                    self.set
+                        .node(*i)
+                        .rollback_to(key, versions[j], priors[idx][j].clone());
                 }
             }
             self.stats.quorum_losses.fetch_add(1, Ordering::Relaxed);

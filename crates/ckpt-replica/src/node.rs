@@ -254,6 +254,34 @@ impl ReplicaNode {
         }
     }
 
+    /// Raw frame under `key`, if any — the pre-write snapshot a quorum
+    /// commit takes so a failed overwrite can be rolled back to the
+    /// committed state instead of destroying it. Pure read: no digest
+    /// work, no counters.
+    pub fn snapshot_frame(&self, key: &str) -> Option<Frame> {
+        self.state.lock().frames.get(key).cloned()
+    }
+
+    /// Roll a failed quorum write back: if the frame under `key` is still
+    /// at `version` (full or torn), remove it — uncommitting its bytes
+    /// exactly like [`ReplicaNode::drop_if_version`] — and reinstate
+    /// `prior`, the frame this node held before the failed write fanned
+    /// out. The reinstated payload is *not* re-counted into
+    /// `bytes_ingested`: it was charged when the prior frame originally
+    /// committed and never logically left the medium.
+    pub fn rollback_to(&self, key: &str, version: u64, prior: Option<Frame>) {
+        let mut s = self.state.lock();
+        if s.frames.get(key).is_some_and(|f| f.version == version) {
+            s.intact_memo.remove(key);
+            if let Some(f) = s.frames.remove(key) {
+                s.bytes_ingested = s.bytes_ingested.saturating_sub(f.data.len() as u64);
+            }
+            if let Some(p) = prior {
+                s.frames.insert(key.to_string(), p);
+            }
+        }
+    }
+
     /// Truncate the frame under `key` to half its payload, leaving the
     /// digest stale (adversarial torn-copy test hook).
     pub fn corrupt_key(&self, key: &str) {

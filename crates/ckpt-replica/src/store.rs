@@ -338,6 +338,20 @@ impl StableStorage for ReplicatedStore {
             })
             .collect();
 
+        // Pre-write snapshots: `put` replaces a replica's frame in place,
+        // so a failed quorum needs the prior frames to roll back to the
+        // committed state instead of leaving its acked replicas empty.
+        let priors: Vec<Option<Frame>> = cmds
+            .iter()
+            .map(|(i, cmd)| {
+                if *cmd == WriteCmd::Skip {
+                    None
+                } else {
+                    self.set.node(*i).snapshot_frame(key)
+                }
+            })
+            .collect();
+
         // Phase 2 (pool fan-out): pure payload copies into per-replica
         // frame maps. Each replica has its own lock; merge order is the
         // submission order, so this is width-invariant by construction.
@@ -370,9 +384,13 @@ impl StableStorage for ReplicatedStore {
 
         if acked.len() < self.cfg.w {
             // Roll the failed commit back from the replicas that did take
-            // it, so an unacknowledged version never wins a later read.
+            // it — reinstating each one's pre-write frame — so an
+            // unacknowledged version never wins a later read and a
+            // refused overwrite never destroys the committed copy.
             for &i in &acked {
-                self.set.node(i as usize).drop_if_version(key, version);
+                self.set
+                    .node(i as usize)
+                    .rollback_to(key, version, priors[i as usize].clone());
             }
             self.bump_stats(0, total_retries, 0, 1);
             return Err(StorageError::QuorumLost {
@@ -666,6 +684,22 @@ impl StableStorage for ReplicatedStore {
             })
             .collect();
 
+        // Pre-write snapshots for rollback: one per (replica, object),
+        // taken before any frame is replaced.
+        let priors: Vec<Vec<Option<Frame>>> = cmds
+            .iter()
+            .map(|(i, cmd)| {
+                if *cmd == WriteCmd::Skip {
+                    Vec::new()
+                } else {
+                    objects
+                        .iter()
+                        .map(|(k, _)| self.set.node(*i).snapshot_frame(k))
+                        .collect()
+                }
+            })
+            .collect();
+
         // Phase 2 (pool fan-out): pure copies, one replica per work item.
         let set = self.set.clone();
         self.pool.par_map_ordered(
@@ -717,10 +751,13 @@ impl StableStorage for ReplicatedStore {
 
         if acked.len() < self.cfg.w {
             // All-or-nothing: peel every object of the failed batch back
-            // off the replicas that took it.
+            // off the replicas that took it, reinstating each replica's
+            // pre-write frames so the previously committed values survive.
             for &i in &acked {
                 for (j, (k, _)) in objects.iter().enumerate() {
-                    self.set.node(i as usize).drop_if_version(k, versions[j]);
+                    self.set
+                        .node(i as usize)
+                        .rollback_to(k, versions[j], priors[i as usize][j].clone());
                 }
             }
             self.bump_stats(0, total_retries, 0, 1);

@@ -250,3 +250,150 @@ fn stripe_group_damage_never_bleeds_across_stripes() {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// Durability regressions: a failed overwrite must never destroy the
+// previously committed value (promoted from the PR-9 review scratch
+// test, extended over the striped and replicated-batch commit paths).
+// ---------------------------------------------------------------------
+
+use ckpt_restart::replica::ReplicatedStore;
+
+#[test]
+fn failed_overwrite_under_quorum_loss_preserves_committed_value() {
+    // The two-phase commit's reason to exist: when an overwrite cannot
+    // reach its write quorum, the store must refuse *and leave the old
+    // committed frames untouched* — losing v1 while failing to commit v2
+    // would turn a transient outage into data loss.
+    let cost = CostModel::circa_2005();
+    let mut s = ErasureStore::fresh(4, 2);
+    let v1 = vec![7u8; 4096];
+    s.store("k", &v1, &cost).unwrap();
+    // v1 is committed on all 6 nodes and readable.
+    assert_eq!(s.load("k", &cost).unwrap().0, v1);
+
+    // Two shard nodes go down; an overwrite attempt misses quorum (needs 5).
+    s.replica_set().node(4).fail();
+    s.replica_set().node(5).fail();
+    let err = s.store("k", &vec![9u8; 4096], &cost).unwrap_err();
+    assert!(matches!(err, StorageError::QuorumLost { .. }));
+
+    // Nodes come back; the old committed value must still be readable.
+    s.replica_set().node(4).repair();
+    s.replica_set().node(5).repair();
+    match s.load("k", &cost) {
+        Ok((bytes, _)) => assert_eq!(bytes, v1, "wrong bytes back"),
+        Err(e) => panic!("previously committed value lost after failed overwrite: {e}"),
+    }
+}
+
+#[test]
+fn striped_failed_overwrite_preserves_committed_values_per_stripe() {
+    // Same invariant through the striped front: knock one stripe's shard
+    // group below its write quorum, attempt overwrites everywhere, and
+    // require (a) typed refusal without data loss on the dead stripe and
+    // (b) untouched success on every other stripe.
+    let cost = CostModel::circa_2005();
+    for case in 0..CASES {
+        let mut g = Gen::new(96_000 + case);
+        let (k, m) = geometry(case);
+        let stripes = [2usize, 3, 4][(case % 3) as usize];
+        let mut store = EcStripedStore::fresh(stripes, k, m);
+        let objects = arb_objects(&mut g);
+        for (key, payload) in &objects {
+            store.store(key, payload, &cost).unwrap();
+        }
+
+        // Drop m + 1 nodes of one stripe: reads still decode (k intact),
+        // but an overwrite cannot reach its full-group write quorum.
+        let set = store.striped_set();
+        let dead = g.range(0, stripes as u64) as usize;
+        for r in 0..=m {
+            set.stripe(dead).node(r).fail();
+        }
+
+        for (key, payload) in &objects {
+            let overwrite = g.bytes(payload.len().max(1));
+            if set.route(key) == dead {
+                let err = store.store(key, &overwrite, &cost).unwrap_err();
+                assert!(
+                    matches!(err, StorageError::QuorumLost { .. }),
+                    "case {case}: dead stripe must refuse the overwrite typed, got {err}"
+                );
+            } else {
+                store.store(key, &overwrite, &cost).unwrap_or_else(|e| {
+                    panic!("case {case}: healthy stripe refused overwrite of {key}: {e}")
+                });
+            }
+        }
+
+        // The dead stripe's nodes come back: every refused overwrite
+        // must have left the original value intact.
+        for r in 0..=m {
+            set.stripe(dead).node(r).repair();
+        }
+        for (key, payload) in &objects {
+            if set.route(key) == dead {
+                let (bytes, _) = store.load(key, &cost).unwrap_or_else(|e| {
+                    panic!("case {case}: {key} lost after failed overwrite: {e}")
+                });
+                assert_eq!(
+                    &bytes, payload,
+                    "case {case}: failed overwrite destroyed the committed value of {key}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn replicated_failed_batch_preserves_every_committed_value() {
+    // The framed multi-object batch is all-or-nothing: if the batch
+    // cannot commit (quorum lost mid-flight), *no* object in it may be
+    // torn — every key must still read back its previously committed
+    // value after the nodes return.
+    let cost = CostModel::circa_2005();
+    for case in 0..CASES {
+        let mut g = Gen::new(97_000 + case);
+        let (n, w) = if case.is_multiple_of(2) { (3usize, 2usize) } else { (5, 3) };
+        let mut store = ReplicatedStore::fresh(n, w);
+        let objects = arb_objects(&mut g);
+        let v1: Vec<(&str, &[u8])> = objects
+            .iter()
+            .map(|(k, p)| (k.as_str(), p.as_slice()))
+            .collect();
+        store.store_batch(&v1, &cost).unwrap();
+
+        // Lose enough replicas that the write quorum is unreachable.
+        let set = store.replica_set();
+        for r in 0..=(n - w) {
+            set.node(r).fail();
+        }
+        let overwrites: Vec<(String, Vec<u8>)> = objects
+            .iter()
+            .map(|(k, p)| (k.clone(), g.bytes(p.len().max(1))))
+            .collect();
+        let v2: Vec<(&str, &[u8])> = overwrites
+            .iter()
+            .map(|(k, p)| (k.as_str(), p.as_slice()))
+            .collect();
+        let err = store.store_batch(&v2, &cost).unwrap_err();
+        assert!(
+            matches!(err, StorageError::QuorumLost { .. }),
+            "case {case}: batch under quorum loss must refuse typed, got {err}"
+        );
+
+        for r in 0..=(n - w) {
+            set.node(r).repair();
+        }
+        for (key, payload) in &objects {
+            let (bytes, _) = store.load(key, &cost).unwrap_or_else(|e| {
+                panic!("case {case}: {key} lost after failed batch: {e}")
+            });
+            assert_eq!(
+                &bytes, payload,
+                "case {case}: failed batch tore the committed value of {key}"
+            );
+        }
+    }
+}
